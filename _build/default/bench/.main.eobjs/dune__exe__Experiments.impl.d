@@ -1,0 +1,1 @@
+bench/experiments.ml: Analyze Array Bechamel Benchmark Domain Format Harness Hashtbl List Measure Memory Mutex Printf Rme Rme_native Runtime Schedule Sim Staged Stats Test Time Toolkit

@@ -1,0 +1,28 @@
+(* Benchmark harness entry point: runs every experiment of DESIGN.md §4 (or
+   the subset named on the command line) and prints its table. *)
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
+    | _ -> List.map fst Experiments.all
+  in
+  print_endline
+    "Recoverable Mutual Exclusion Under System-Wide Failures — experiment \
+     harness";
+  print_endline
+    "(Golab & Hendler, PODC 2018; see DESIGN.md for the experiment index \
+     and EXPERIMENTS.md for expected-vs-measured.)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name Experiments.all with
+      | Some run ->
+        let t0 = Unix.gettimeofday () in
+        run ();
+        Printf.printf "[%s finished in %.1fs]\n%!" name
+          (Unix.gettimeofday () -. t0)
+      | None ->
+        Printf.eprintf "unknown experiment %S (known: %s)\n%!" name
+          (String.concat ", " (List.map fst Experiments.all));
+        exit 1)
+    requested

@@ -1,0 +1,277 @@
+(* Command-line interface: run individual simulations, model-checking
+   searches and native stress runs without writing any code.
+
+     rme list
+     rme run --stack t3-mcs --model dsm -n 8 --crash-mean 300
+     rme model-check --scenario rme --stack t2-mcs -n 2 -d 1 -c 1
+     rme native --stack t3-mcs -n 4 --crash-interval 1.0
+*)
+
+open Cmdliner
+
+let model_conv =
+  let parse s =
+    try Ok (Sim.Memory.model_of_string s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Sim.Memory.pp_model)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Sim.Memory.Cc
+    & info [ "model"; "m" ] ~docv:"MODEL" ~doc:"Cost model: cc or dsm.")
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let stack_arg =
+  Arg.(
+    value
+    & opt string "t3-mcs"
+    & info [ "stack"; "s" ] ~docv:"STACK"
+        ~doc:"Recoverable lock stack (see $(b,rme list)).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (runs replay).")
+
+let passages_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "passages"; "p" ] ~doc:"Passages per process.")
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Recoverable stacks (--stack):";
+    List.iter (Printf.printf "  %s\n") Rme.Stack.recoverable_names;
+    print_endline "Conventional locks (usable as unprotected-<name>):";
+    List.iter (Printf.printf "  %s\n") Rme.Stack.conventional_names;
+    print_endline "Native stacks (rme native --stack):";
+    List.iter (Printf.printf "  %s\n") Rme_native.Stack.recoverable_names;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available lock stacks.")
+    Term.(const run $ const ())
+
+(* --- run --- *)
+
+let run_cmd =
+  let crash_mean =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-mean" ]
+          ~doc:"Inject crashes with this mean interval in steps.")
+  in
+  let bursty =
+    Arg.(value & flag & info [ "bursty" ] ~doc:"Crashes arrive in bursts.")
+  in
+  let bias =
+    Arg.(
+      value & opt (some float) None
+      & info [ "bias" ]
+          ~doc:"Use a low-ID-biased schedule with this pick probability.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "max-steps" ] ~doc:"Hard step budget.")
+  in
+  let run stack model n passages seed crash_mean bursty bias max_steps =
+    let base =
+      match bias with
+      | Some p -> Sim.Schedule.geometric_bias ~seed p
+      | None -> Sim.Schedule.uniform ~seed
+    in
+    let schedule =
+      match crash_mean with
+      | Some mean ->
+        Sim.Schedule.with_random_crashes ~seed:(seed + 1) ~mean ~bursty base
+      | None -> base
+    in
+    let report =
+      Harness.Driver.run ~max_steps ~passages ~n ~model
+        ~make:(fun mem -> Rme.Stack.recoverable mem stack)
+        ~schedule ()
+    in
+    Format.printf "%a@." Harness.Driver.pp_report report;
+    match Harness.Driver.check_clean report with
+    | Ok () ->
+      print_endline "clean";
+      0
+    | Error e ->
+      Printf.printf "NOT CLEAN: %s\n" e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one configuration and print its report.")
+    Term.(
+      const run $ stack_arg $ model_arg $ n_arg $ passages_arg $ seed_arg
+      $ crash_mean $ bursty $ bias $ max_steps)
+
+(* --- model-check --- *)
+
+let model_check_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (enum [ ("rme", `Rme); ("barrier", `Barrier); ("barrier-sub", `Sub) ]) `Rme
+      & info [ "scenario" ] ~doc:"What to check: rme, barrier or barrier-sub.")
+  in
+  let dbound =
+    Arg.(value & opt int 1 & info [ "d" ] ~doc:"Divergence (preemption) bound.")
+  in
+  let cbound =
+    Arg.(value & opt int 0 & info [ "c" ] ~doc:"Crash bound.")
+  in
+  let max_runs =
+    Arg.(value & opt int 200_000 & info [ "max-runs" ] ~doc:"Run budget.")
+  in
+  let passages =
+    Arg.(value & opt int 1 & info [ "passages" ] ~doc:"Passages per process.")
+  in
+  let no_csr =
+    Arg.(
+      value & flag
+      & info [ "no-csr" ]
+          ~doc:"Do not flag CSR violations (for stacks that do not claim it).")
+  in
+  let run scenario stack model n dbound cbound max_runs passages no_csr =
+    let sc =
+      match scenario with
+      | `Rme ->
+        Harness.Scenarios.rme ~passages ~check_csr:(not no_csr) ~n ~model
+          ~make:(fun mem -> Rme.Stack.recoverable mem stack)
+          ()
+      | `Barrier -> Harness.Scenarios.barrier ~epochs:(cbound + 1) ~n ~model ()
+      | `Sub -> Harness.Scenarios.barrier_sub ~n ~model ()
+    in
+    let o =
+      Harness.Model_check.explore ~divergence_bound:dbound ~crash_bound:cbound
+        ~max_runs sc
+    in
+    Format.printf "%a@." Harness.Model_check.pp_outcome o;
+    if o.Harness.Model_check.violations = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "model-check"
+       ~doc:"Systematically explore schedules (and crash points).")
+    Term.(
+      const run $ scenario $ stack_arg $ model_arg $ n_arg $ dbound $ cbound
+      $ max_runs $ passages $ no_csr)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let steps =
+    Arg.(value & opt int 120 & info [ "steps" ] ~doc:"Steps to simulate.")
+  in
+  let crash_every =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-every" ] ~doc:"Inject a crash every K decisions.")
+  in
+  let run stack model n seed steps crash_every =
+    let mem = Sim.Memory.create ~model ~n in
+    let tr = Sim.Trace.create () in
+    Sim.Trace.attach tr mem;
+    let lock = Rme.Stack.recoverable mem stack in
+    let body ~pid ~epoch =
+      while true do
+        lock.Rme.Rme_intf.recover ~pid ~epoch;
+        lock.Rme.Rme_intf.enter ~pid ~epoch;
+        lock.Rme.Rme_intf.exit ~pid ~epoch
+      done
+    in
+    let rt = Sim.Runtime.create mem ~body in
+    Sim.Runtime.on_crash rt (fun ~epoch -> Sim.Trace.record_crash tr ~epoch);
+    let base = Sim.Schedule.uniform ~seed in
+    let schedule =
+      match crash_every with
+      | Some every -> Sim.Schedule.with_crashes ~every base
+      | None -> base
+    in
+    let rec loop () =
+      if Sim.Runtime.clock rt < steps then begin
+        match Sim.Runtime.enabled rt with
+        | [] -> ()
+        | en -> (
+          match schedule ~clock:(Sim.Runtime.clock rt) ~enabled:en with
+          | Some (Sim.Schedule.Step pid) ->
+            Sim.Runtime.step rt pid;
+            loop ()
+          | Some Sim.Schedule.Crash ->
+            Sim.Runtime.crash rt ();
+            loop ()
+          | Some (Sim.Schedule.Crash_one pid) ->
+            Sim.Runtime.crash_one rt pid;
+            Sim.Trace.record_crash_one tr ~pid;
+            loop ()
+          | None -> ())
+      end
+    in
+    loop ();
+    Sim.Trace.dump Format.std_formatter tr;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Dump a step-by-step shared-memory trace of a lock stack under a \
+          seeded schedule (every operation, its result, and whether it was \
+          charged as an RMR).")
+    Term.(
+      const run $ stack_arg $ model_arg $ n_arg $ seed_arg $ steps
+      $ crash_every)
+
+(* --- native --- *)
+
+let native_cmd =
+  let crash_interval =
+    Arg.(
+      value & opt (some float) None
+      & info [ "crash-interval" ] ~doc:"Crash interval in milliseconds.")
+  in
+  let distributed =
+    Arg.(
+      value & flag
+      & info [ "distributed-barrier" ]
+          ~doc:"Use the full DSM barrier machinery instead of the spin path.")
+  in
+  let run stack n passages crash_interval distributed =
+    let variant = if distributed then `Distributed else `Spin in
+    let r =
+      Rme_native.Workers.run
+        ?crash_interval:(Option.map (fun ms -> ms /. 1000.) crash_interval)
+        ~n ~passages
+        ~make:(fun crash ~n ->
+          Rme_native.Stack.recoverable ~variant crash ~n stack)
+        ()
+    in
+    Format.printf "%a@." Rme_native.Workers.pp_result r;
+    match Rme_native.Workers.check_clean r with
+    | Ok () ->
+      print_endline "clean";
+      0
+    | Error e ->
+      Printf.printf "NOT CLEAN: %s\n" e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "native"
+       ~doc:"Stress a native (Atomic/Domain) stack with real concurrency.")
+    Term.(
+      const run $ stack_arg $ n_arg $ passages_arg $ crash_interval
+      $ distributed)
+
+let () =
+  let doc =
+    "Recoverable mutual exclusion under system-wide failures (PODC 2018) — \
+     simulator, model checker and native stress harness."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "rme" ~version:"1.0.0" ~doc)
+          [ list_cmd; run_cmd; model_check_cmd; trace_cmd; native_cmd ]))

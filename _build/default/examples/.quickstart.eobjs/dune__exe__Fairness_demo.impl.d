@@ -1,0 +1,1 @@
+examples/fairness_demo.ml: Harness List Memory Printf Rme Schedule Sim

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array List Memory Printf Proc Rme Runtime Schedule Sim

@@ -1,0 +1,1 @@
+examples/native_counter.ml: Format Printf Rme_native

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Harness Memory Rme Schedule Sim Stats

@@ -1,0 +1,46 @@
+(* Failures-Robust Fairness in action (Definition 4.10, Theorem 4.11).
+
+   The adversary: crashes never stop coming (a crash roughly every 300
+   steps), and the scheduler strongly favours low-numbered processes.
+   Under Transformation 2 every crash resets the queue lock, so the
+   favoured processes slip back in front of a waiting straggler over and
+   over — its overtaking count grows without bound for as long as the run
+   lasts. Transformation 3's recovery-time helping hands the straggler a
+   privileged turn within N epochs, so the same adversary cannot overtake
+   it more than a constant number of times.
+
+   Run with:  dune exec examples/fairness_demo.exe *)
+
+open Sim
+
+let measure stack budget =
+  let r =
+    Harness.Driver.run ~n:5 ~passages:max_int ~max_steps:budget
+      ~model:Memory.Cc
+      ~make:(fun mem -> Rme.Stack.recoverable mem stack)
+      ~schedule:
+        (Schedule.with_random_crashes ~seed:1 ~mean:300
+           (Schedule.geometric_bias ~seed:101 0.8))
+      ()
+  in
+  assert (r.Harness.Driver.me_violations = 0);
+  (r.Harness.Driver.max_overtaking, r.Harness.Driver.crashes)
+
+let () =
+  print_endline
+    "Endless crashes + a scheduler biased 0.8 towards low process IDs.\n\
+     'overtaking' = CS entries by others while some process waited.\n";
+  Printf.printf "%-12s %12s %18s %18s\n" "run length" "crashes"
+    "t2 max overtaking" "t3 max overtaking";
+  let t3_max = ref 0 in
+  List.iter
+    (fun budget ->
+      let t2, crashes = measure "t2-mcs" budget in
+      let t3, _ = measure "t3-mcs" budget in
+      t3_max := max !t3_max t3;
+      Printf.printf "%9dk %12d %18d %18d\n" (budget / 1000) crashes t2 t3)
+    [ 125_000; 250_000; 500_000; 1_000_000; 2_000_000 ];
+  Printf.printf
+    "\nT2's worst case keeps growing with the run; T3 never exceeded %d —\n\
+     the Failures-Robust Fairness separation of Theorem 4.11.\n"
+    !t3_max

@@ -1,0 +1,1 @@
+lib/core/barrier.ml: Array Barrier_sub Encode Memory Printf Proc Sim Stdlib Tag

@@ -1,0 +1,1 @@
+lib/core/barrier_sub.mli: Sim

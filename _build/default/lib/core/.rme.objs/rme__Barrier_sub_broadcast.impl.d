@@ -1,0 +1,1 @@
+lib/core/barrier_sub_broadcast.ml: Array Memory Printf Proc Sim Stdlib

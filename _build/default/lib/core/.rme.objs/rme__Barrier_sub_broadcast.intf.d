@@ -1,0 +1,1 @@
+lib/core/barrier_sub_broadcast.mli: Sim

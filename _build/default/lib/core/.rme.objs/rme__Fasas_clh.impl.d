@@ -1,0 +1,1 @@
+lib/core/fasas_clh.ml: Array Memory Printf Proc Rme_intf Sim Stdlib

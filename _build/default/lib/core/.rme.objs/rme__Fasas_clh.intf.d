@@ -1,0 +1,1 @@
+lib/core/fasas_clh.mli: Rme_intf Sim

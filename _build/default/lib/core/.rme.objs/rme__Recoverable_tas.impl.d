@@ -1,0 +1,1 @@
+lib/core/recoverable_tas.ml: Memory Proc Rme_intf Sim

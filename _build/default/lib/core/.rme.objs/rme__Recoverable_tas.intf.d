@@ -1,0 +1,1 @@
+lib/core/recoverable_tas.mli: Rme_intf Sim

@@ -1,0 +1,1 @@
+lib/core/rme_intf.ml: Locks

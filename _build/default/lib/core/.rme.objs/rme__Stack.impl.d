@@ -1,0 +1,1 @@
+lib/core/stack.ml: Fasas_clh List Locks Recoverable_tas Rme_intf Sim Transform1 Transform1_spin Transform23

@@ -1,0 +1,1 @@
+lib/core/stack.mli: Locks Rme_intf Sim

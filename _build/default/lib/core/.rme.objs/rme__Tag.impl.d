@@ -1,0 +1,1 @@
+lib/core/tag.ml: Array Memory Printf Proc Sim Stdlib

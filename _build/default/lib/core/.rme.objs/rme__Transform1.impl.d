@@ -1,0 +1,1 @@
+lib/core/transform1.ml: Barrier Locks Memory Proc Rme_intf Sim

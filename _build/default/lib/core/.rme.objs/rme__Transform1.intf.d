@@ -1,0 +1,1 @@
+lib/core/transform1.mli: Locks Rme_intf Sim

@@ -1,0 +1,1 @@
+lib/core/transform1_spin.ml: Locks Memory Proc Rme_intf Sim

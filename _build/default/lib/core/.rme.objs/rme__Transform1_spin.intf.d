@@ -1,0 +1,1 @@
+lib/core/transform1_spin.mli: Locks Rme_intf Sim

@@ -1,0 +1,1 @@
+lib/core/transform23.ml: Array Barrier Memory Printf Proc Rme_intf Sim Stdlib

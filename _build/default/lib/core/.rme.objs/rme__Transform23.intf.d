@@ -1,0 +1,1 @@
+lib/core/transform23.mli: Rme_intf Sim

@@ -1,0 +1,28 @@
+(** Barrier variation 2: the unknown-leader barrier (Fig. 2, Theorem 3.3).
+    O(1) RMRs per call in both the CC and the DSM cost models.
+
+    Every caller knows {e whether} it is the epoch's leader, but
+    non-leaders do not know the leader's identity. In the CC model the
+    leader publishes the epoch in [R] and everyone else spins on it
+    (cheap under cache coherence). In the DSM model a global spin variable
+    cannot be RMR-efficient, so the slow path (lines 41–58) elects a
+    {e secondary leader} through the tagged CAS object [C] — the tag
+    ({!Tag}) defeats ABA when stale announcements from crashed epochs are
+    reset — and funnels every caller into the known-leader {!Barrier_sub}
+    with the elected ID. The real leader signals the secondary leader on
+    its local spin flag after opening [R].
+
+    The barrier is reusable across epochs with different leaders and needs
+    no cleanup after a crash: [R] grows monotonically, stale [C] values are
+    reset lazily, and stale spin-flag values never match a later epoch. *)
+
+type t
+
+val create : ?fast_path:bool -> Sim.Memory.t -> name:string -> t
+(** [fast_path] (default true) controls the [R = epoch] short-circuit at
+    line 41 of the DSM path (and line 1 of the inner {!Barrier_sub});
+    disabling it is an ablation (experiment E7). *)
+
+val enter : t -> pid:int -> epoch:int -> leader:bool -> unit
+(** [enter t ~pid ~epoch ~leader] is Barrier(epoch, isLeader) executed by
+    [pid]. Dispatches on the memory's cost model as lines 25–28 do. *)

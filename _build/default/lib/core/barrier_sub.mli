@@ -1,0 +1,27 @@
+(** Barrier variation 1: the known-leader barrier BarrierSub (Fig. 1,
+    Theorem 3.2). Designed for — and needed in — the DSM model only, where
+    every call costs O(1) RMRs (the leader performs O(N) {e steps}, but its
+    handshake row [C[lid][1..N]] is homed locally, so they are free).
+
+    Callers pass the epoch and the leader's ID, which some external
+    mechanism must agree on (the unknown-leader {!Barrier} elects it). The
+    leader opens the barrier by publishing the epoch in [R]; the CAS
+    handshake on [C[lid][j]] decides, for each non-leader [j], whether [j]
+    sails through or waits for a signal on its local spin flag [S[j]].
+    Waiters are woken by a chain reaction: the leader signals the first
+    process in the list [L[lid]] it built, and the k-th process signals the
+    (k+1)-st (lines 21–24).
+
+    Satisfies Definition 3.1: (i) no call in epoch e returns before the
+    leader's call begins, (ii) the leader's call always terminates, and
+    (iii) once it does, every other call in epoch e terminates. *)
+
+type t
+
+val create : ?fast_path:bool -> Sim.Memory.t -> name:string -> t
+(** [fast_path] (default true) controls the [R = epoch] short-circuit at
+    line 1; disabling it is an ablation (experiment E7). *)
+
+val enter : t -> pid:int -> epoch:int -> lid:int -> unit
+(** [enter t ~pid ~epoch ~lid] is BarrierSub(epoch, lid) executed by
+    [pid]. *)

@@ -1,0 +1,51 @@
+open Sim
+
+type t = {
+  n : int;
+  fast_path : bool;
+  r : Memory.cell;
+  c : Memory.cell array array; (* handshake row c.(i), homed at process i *)
+  s : Memory.cell array; (* spin flags, s.(j) homed at j *)
+}
+
+let create ?(fast_path = true) mem ~name =
+  let n = Memory.n mem in
+  {
+    n;
+    fast_path;
+    r = Memory.global mem ~name:(name ^ ".R") 0;
+    c =
+      Array.init (n + 1) (fun i ->
+          Array.init (n + 1) (fun j ->
+              Memory.cell mem
+                ~name:(Printf.sprintf "%s.C[%d][%d]" name i j)
+                ~home:(Stdlib.max i 1) 0));
+    s =
+      Array.init (n + 1) (fun j ->
+          Memory.cell mem
+            ~name:(Printf.sprintf "%s.S[%d]" name j)
+            ~home:(Stdlib.max j 1) 0);
+  }
+
+let leader t ~pid ~epoch =
+  for j = 1 to t.n do
+    let tmp = Proc.read t.c.(pid).(j) in
+    if Proc.cas t.c.(pid).(j) ~expect:tmp ~repl:epoch = epoch then
+      (* p_j won the handshake and is (or will be) waiting: signal it
+         directly — a remote write per waiter, the cost the chain
+         mechanism avoids. *)
+      Proc.write t.s.(j) epoch
+  done
+
+let non_leader t ~pid ~epoch ~lid =
+  let tmp = Proc.read t.c.(lid).(pid) in
+  if Proc.cas t.c.(lid).(pid) ~expect:tmp ~repl:epoch < epoch then
+    ignore (Proc.await t.s.(pid) ~until:(fun v -> v = epoch))
+
+let enter t ~pid ~epoch ~lid =
+  if t.fast_path && Proc.read t.r = epoch then ()
+  else if lid = pid then begin
+    Proc.write t.r epoch;
+    leader t ~pid ~epoch
+  end
+  else non_leader t ~pid ~epoch ~lid

@@ -1,0 +1,11 @@
+(** Ablation of {!Barrier_sub} (experiment E7a): the leader signals every
+    waiter itself instead of setting off the paper's chain reaction
+    (Fig. 1 lines 14–16 and 21–24). Still correct, and the per-waiter cost
+    is unchanged, but the {e leader's} call now performs Θ(#waiters) remote
+    writes in the DSM model — demonstrating why the chain mechanism is
+    needed for a worst-case O(1) bound that holds for every caller. *)
+
+type t
+
+val create : ?fast_path:bool -> Sim.Memory.t -> name:string -> t
+val enter : t -> pid:int -> epoch:int -> lid:int -> unit

@@ -1,0 +1,44 @@
+(** The comparison class: an O(1)-RMR (CC model) recoverable mutex for
+    {e independent} process failures, built on the specialized double-word
+    Fetch-And-Store-And-Store primitive — the approach of Ramaraju's
+    RGLock (2015) and the O(1) algorithm of Golab & Hendler (2017) that
+    the paper cites as the state of the art outside the register +
+    single-word-primitive class (Sections 1 and 5).
+
+    This is {e not} one of the paper's algorithms: the paper's whole point
+    is achieving O(1) {e without} double-word primitives by strengthening
+    the failure model instead. It is here so experiment E11 can exhibit
+    the landscape: under independent failures the paper's stacks wedge
+    (E11) while this lock keeps going — at the price of hardware support
+    that does not exist on commodity machines.
+
+    Design (a crash-recoverable CLH queue):
+
+    - The enqueue is the only non-idempotent step, and FASAS makes it
+      atomic with its own persistence: [pred := FASAS(tail, my_node)]
+      writes the fetched predecessor into the process's NVRAM [pred]
+      register in the same step. [pred = ⊥] therefore means exactly "not
+      enqueued", and recovery can always tell whether to retry or resume.
+    - Nodes are never recycled across processes (CLH hand-me-down
+      recycling is not crash-safe): each process owns two nodes and
+      alternates between passages. Reusing a node is safe only once the
+      previous successor has released, which the alternation guarantees:
+      passage k+2's reuse of passage k's node is gated by passage k+1
+      completing, which waits behind k's successor.
+    - The node choice is derived from a persisted parity that advances
+      only inside the exit's idempotent roll-forward block, so a crashed
+      entry always retries with the {e same} node (a retry that switched
+      nodes could re-busy a just-released node under a still-spinning
+      successor and deadlock the queue).
+    - A per-process phase register (idle / trying / have / releasing)
+      drives roll-forward: recovery completes an interrupted exit;
+      an interrupted entry resumes (the FASAS guard decides whether to
+      re-enqueue); a crash inside the CS resumes ownership — giving CSR
+      structurally.
+
+    Works unchanged under system-wide failures too (it never looks at the
+    epoch). Spins on the predecessor's node, so like CLH it is O(1) in the
+    CC model only. Validated by systematic model checking with
+    independent-crash branching at every step (see the tests). *)
+
+val make : Sim.Memory.t -> Rme_intf.rme

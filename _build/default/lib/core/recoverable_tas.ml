@@ -1,0 +1,21 @@
+open Sim
+
+let make mem =
+  let lock = Memory.global mem ~name:"rtas.owner" 0 in
+  let enter ~pid ~epoch:_ =
+    (* Crashed while holding (in the CS or before completing exit): the
+       lock word still names us — resume ownership. *)
+    if Proc.read lock <> pid then begin
+      let rec acquire () =
+        ignore (Proc.await lock ~until:(fun v -> v = 0));
+        if not (Proc.cas_success lock ~expect:0 ~repl:pid) then acquire ()
+      in
+      acquire ()
+    end
+  in
+  {
+    Rme_intf.name = "rtas";
+    recover = (fun ~pid:_ ~epoch:_ -> ());
+    enter;
+    exit = (fun ~pid:_ ~epoch:_ -> Proc.write lock 0);
+  }

@@ -1,0 +1,19 @@
+(** The baseline that frames the whole complexity question: a recoverable
+    mutex from a single-word CAS that survives {e both} failure models
+    (independent and system-wide) almost for free — by storing the
+    {e owner's identity} in the lock word.
+
+    Entry retries [CAS(lock, 0, i)]; a recovering process that reads its
+    own ID simply still owns the lock (it crashed while holding it, so it
+    resumes — Critical Section Re-entry is structural); exit writes 0.
+    Every transition is idempotent under crashes, no epoch information is
+    needed, and mutual exclusion is immediate.
+
+    What it does {e not} have is exactly what the literature is about:
+    every contended attempt is a remote reference, so its RMR complexity
+    is unbounded in both cost models, and it is not starvation-free. It
+    exists as the E11 row showing that {e solvability} under independent
+    failures is cheap — the paper's contribution (and the FASAS class's)
+    is doing it in O(1) RMRs. *)
+
+val make : Sim.Memory.t -> Rme_intf.rme

@@ -1,0 +1,30 @@
+(** Interface of a {e recoverable} mutual-exclusion lock (Section 2 of the
+    paper). A passage is [recover; enter; CS; exit]; all three sections
+    receive the current epoch number, the environment-supplied information
+    about system-wide failures that the model provides (it increases after
+    every crash, and all passages between two crashes see the same value).
+
+    In steady-state failure-free operation [recover] falls through in O(1)
+    steps; after a crash it repairs the lock's internal state, possibly
+    busy-waiting for a recovery leader. *)
+
+type rme = {
+  name : string;
+  recover : pid:int -> epoch:int -> unit;
+  enter : pid:int -> epoch:int -> unit;
+  exit : pid:int -> epoch:int -> unit;
+}
+
+type t = rme
+
+(** [of_mutex m] wraps a conventional mutex as an RME lock with a no-op
+    recovery section. It is {e not} crash-safe — used by the experiments to
+    demonstrate what goes wrong without Transformation 1 (a conventional
+    queue lock deadlocks after the first crash that interrupts a passage). *)
+let of_mutex (m : Locks.Lock_intf.mutex) : rme =
+  {
+    name = m.Locks.Lock_intf.name ^ "-unprotected";
+    recover = (fun ~pid:_ ~epoch:_ -> ());
+    enter = (fun ~pid ~epoch:_ -> m.Locks.Lock_intf.enter ~pid);
+    exit = (fun ~pid ~epoch:_ -> m.Locks.Lock_intf.exit ~pid);
+  }

@@ -1,0 +1,65 @@
+let t1_mcs mem = Transform1.make mem ~base:(Locks.Mcs.make mem)
+
+let csr_mcs mem = Transform23.csr mem ~base:(t1_mcs mem)
+
+let frf_mcs mem = Transform23.csr_frf mem ~base:(t1_mcs mem)
+
+let t1_ya mem = Transform1.make mem ~base:(Locks.Yang_anderson.make mem)
+
+let conventional_table : (string * (Sim.Memory.t -> Locks.Lock_intf.mutex)) list =
+  [
+    ("mcs", Locks.Mcs.make);
+    ("tas", Locks.Tas.make);
+    ("ttas", Locks.Ttas.make);
+    ("ticket", Locks.Ticket.make);
+    ("clh", Locks.Clh.make);
+    ("anderson", Locks.Anderson.make);
+    ("bakery", Locks.Bakery.make);
+    ("peterson", Locks.Peterson_tree.make);
+    ("ya", Locks.Yang_anderson.make);
+  ]
+
+let conventional_names = List.map fst conventional_table
+
+let conventional mem which =
+  match List.assoc_opt which conventional_table with
+  | Some make -> make mem
+  | None -> invalid_arg ("Stack.conventional: unknown lock " ^ which)
+
+let recoverable_table : (string * (Sim.Memory.t -> Rme_intf.rme)) list =
+  let t1 base mem = Transform1.make mem ~base:(base mem) in
+  let base_of name mem = conventional mem name in
+  [
+    ("t1-mcs", t1_mcs);
+    ("t2-mcs", csr_mcs);
+    ("t3-mcs", frf_mcs);
+    ("t1-ya", t1_ya);
+    ("t1-ticket", t1 (base_of "ticket"));
+    ("t1-peterson", t1 (base_of "peterson"));
+    ( "t3-mcs-literal",
+      fun mem -> Transform23.csr_frf_literal mem ~base:(t1_mcs mem) );
+    ("frf-mcs", fun mem -> Transform23.frf_only mem ~base:(t1_mcs mem));
+    ("rclh-fasas", Fasas_clh.make);
+    ("rtas", Recoverable_tas.make);
+    ("t1spin-mcs", fun mem -> Transform1_spin.make mem ~base:(Locks.Mcs.make mem));
+    ( "t1spin-ya",
+      fun mem -> Transform1_spin.make mem ~base:(Locks.Yang_anderson.make mem) );
+    ( "t1-mcs-nofast",
+      fun mem -> Transform1.make ~fast_path:false mem ~base:(Locks.Mcs.make mem) );
+    ( "t3-mcs-nofast",
+      fun mem ->
+        Transform23.csr_frf ~fast_path:false mem
+          ~base:(Transform1.make ~fast_path:false mem ~base:(Locks.Mcs.make mem))
+    );
+  ]
+  @ List.map
+      (fun (name, make) ->
+        ("unprotected-" ^ name, fun mem -> Rme_intf.of_mutex (make mem)))
+      conventional_table
+
+let recoverable_names = List.map fst recoverable_table
+
+let recoverable mem which =
+  match List.assoc_opt which recoverable_table with
+  | Some make -> make mem
+  | None -> invalid_arg ("Stack.recoverable: unknown stack " ^ which)

@@ -1,0 +1,42 @@
+(** Pre-assembled lock stacks and a by-name registry (used by the CLI, the
+    benchmark harness and the tests).
+
+    The algorithm of record is {!frf_mcs} =
+    Transformation 3 (Transformation 2 (Transformation 1 (MCS))): the
+    paper's O(1)-RMR, CSR, failures-robust-fair recoverable mutex built
+    from read/write registers, single-word CAS and Fetch-And-Store. *)
+
+val t1_mcs : Sim.Memory.t -> Rme_intf.rme
+(** Transformation 1 over MCS — the headline O(1)-RMR recoverable mutex
+    (Theorem 4.1). Provides ME, SF, weak SF, BE; not CSR. *)
+
+val csr_mcs : Sim.Memory.t -> Rme_intf.rme
+(** Transformation 2 over {!t1_mcs} (Theorem 4.9): adds CSR. *)
+
+val frf_mcs : Sim.Memory.t -> Rme_intf.rme
+(** Transformation 3 over {!t1_mcs} (Theorem 4.11): CSR + FRF. *)
+
+val t1_ya : Sim.Memory.t -> Rme_intf.rme
+(** Transformation 1 over Yang–Anderson: a Θ(log N)-RMR recoverable mutex,
+    the comparison point for the complexity separation (experiments E1–E3). *)
+
+val conventional : Sim.Memory.t -> string -> Locks.Lock_intf.mutex
+(** Conventional locks by name: ["mcs"], ["tas"], ["ttas"], ["ticket"],
+    ["clh"], ["anderson"], ["bakery"], ["peterson"], ["ya"].
+    @raise Invalid_argument on unknown names. *)
+
+val conventional_names : string list
+
+val recoverable : Sim.Memory.t -> string -> Rme_intf.rme
+(** Recoverable stacks by name: ["t1-mcs"], ["t2-mcs"], ["t3-mcs"],
+    ["t1-ya"], ["t1-ticket"], ["t1-peterson"]; the ablations
+    ["t1spin-mcs"], ["t1spin-ya"], ["t1-mcs-nofast"], ["t3-mcs-nofast"]
+    and ["t3-mcs-literal"] (the published line-97 pseudo-code, which can
+    deadlock); ["frf-mcs"] (footnote 3: FRF without CSR);
+    the comparison-class locks ["rclh-fasas"] (double-word
+    FASAS, survives independent failures) and ["rtas"] (owner-TAS,
+    survives everything but pays unbounded RMRs); and
+    ["unprotected-<conventional>"] (no recovery at all — expected to wedge
+    after a crash). @raise Invalid_argument on unknown names. *)
+
+val recoverable_names : string list

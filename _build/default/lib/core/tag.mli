@@ -1,0 +1,25 @@
+(** The binary-tag machinery of the unknown-leader barrier (Fig. 2,
+    procedures GetTag lines 33–40 and SetTag lines 59–61).
+
+    Each process [i] owns a pair of registers [E[i][0..1]] holding the two
+    most recent epochs in which it called SetTag; the index of the larger
+    value is the tag it held after its last call. Consecutive SetTag calls
+    (necessarily in increasing epochs) toggle the tag, which is what lets
+    the barrier distinguish a stale secondary-leader announcement in the
+    CAS object [C] from a current one and thereby defeats the ABA problem
+    on the reset path (lines 42–45). *)
+
+type t
+
+val create : Sim.Memory.t -> name:string -> t
+
+val get : t -> epoch:int -> who:int -> int
+(** [get t ~epoch ~who] is GetTag(epoch, who): the tag process [who] holds
+    in [epoch] if it has already called {!set} there, and otherwise the tag
+    it {e would} acquire by calling it. May be executed by any process
+    (Fig. 2 line 44 has the resetter evaluate it for the stale leader). *)
+
+val set : t -> epoch:int -> pid:int -> int
+(** [set t ~epoch ~pid] is SetTag(epoch) executed by [pid]: records the
+    epoch under the tag {!get} computes and returns that tag. Idempotent
+    within an epoch. *)

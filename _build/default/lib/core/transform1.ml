@@ -1,0 +1,32 @@
+open Sim
+
+let make ?fast_path mem ~base =
+  let name = "t1(" ^ base.Locks.Lock_intf.name ^ ")" in
+  let c = Memory.global mem ~name:(name ^ ".C") 0 in
+  let barrier = Barrier.create ?fast_path mem ~name:(name ^ ".bar") in
+  (* Recover, Fig. 3 lines 62-72. *)
+  let recover ~pid ~epoch =
+    let cur = Proc.read c in
+    if -epoch < cur && cur < epoch then begin
+      (* A failure happened since C was last brought up to date (or the
+         previous epoch's recovery was itself interrupted): elect the
+         process that will reset the base. *)
+      let ret = Proc.cas c ~expect:cur ~repl:(-epoch) in
+      if ret = cur then begin
+        base.Locks.Lock_intf.reset ~pid;
+        Proc.write c epoch;
+        Barrier.enter barrier ~pid ~epoch ~leader:true
+      end
+      else Barrier.enter barrier ~pid ~epoch ~leader:false
+    end
+    else if cur = -epoch then
+      (* Recovery already in progress in this epoch: wait for its leader. *)
+      Barrier.enter barrier ~pid ~epoch ~leader:false
+    (* else cur = epoch: steady state, nothing to repair. *)
+  in
+  {
+    Rme_intf.name;
+    recover;
+    enter = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.enter ~pid);
+    exit = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.exit ~pid);
+  }

@@ -1,0 +1,21 @@
+(** Transformation 1 (Fig. 3, Theorems 4.1 and 4.8): conventional mutex →
+    recoverable mutex under system-wide failures.
+
+    The target lock resets the base mutex exactly once per epoch: the
+    recovery protocol elects a leader by CAS-ing [-epoch] into the shared
+    counter [C] (a negative value means "recovery in progress"), the leader
+    resets the base and publishes [epoch] in [C], and the unknown-leader
+    {!Barrier} keeps every other recovering process away from the base
+    until the reset is complete. In steady state ([C = epoch]) recovery
+    falls through in one shared read.
+
+    Properties (Theorem 4.1): mutual exclusion always; starvation freedom
+    and bounded exit if the base provides them; RMR complexity O(f(B))
+    where f(B) is the base's RMR cost plus its reset cost — O(1) for
+    {!Locks.Mcs}. Also weak starvation freedom (Theorem 4.8): even
+    processes that never recover after a crash cannot starve the others. *)
+
+val make :
+  ?fast_path:bool -> Sim.Memory.t -> base:Locks.Lock_intf.mutex -> Rme_intf.rme
+(** [make mem ~base] builds the target recoverable mutex. [fast_path] is
+    forwarded to the internal {!Barrier} (ablation E7). *)

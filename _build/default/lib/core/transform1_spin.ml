@@ -1,0 +1,24 @@
+open Sim
+
+let make mem ~base =
+  let name = "t1spin(" ^ base.Locks.Lock_intf.name ^ ")" in
+  let c = Memory.global mem ~name:(name ^ ".C") 0 in
+  let recover ~pid ~epoch =
+    let cur = Proc.read c in
+    if -epoch < cur && cur < epoch then begin
+      let ret = Proc.cas c ~expect:cur ~repl:(-epoch) in
+      if ret = cur then begin
+        base.Locks.Lock_intf.reset ~pid;
+        Proc.write c epoch
+      end
+      else ignore (Proc.await c ~until:(fun v -> v = epoch))
+    end
+    else if cur = -epoch then
+      ignore (Proc.await c ~until:(fun v -> v = epoch))
+  in
+  {
+    Rme_intf.name;
+    recover;
+    enter = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.enter ~pid);
+    exit = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.exit ~pid);
+  }

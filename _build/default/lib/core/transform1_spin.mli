@@ -1,0 +1,8 @@
+(** Ablation of {!Transform1} (experiment E7b): the recovery gate is a
+    naive global spin on the epoch counter [C] instead of the paper's
+    RMR-efficient barrier. Correct, and fine in the CC model, but
+    recovering non-leaders busy-wait on a remote variable in the DSM model,
+    so their recovery RMR cost is unbounded (proportional to how long the
+    reset takes) — the problem the Section 3 barrier exists to solve. *)
+
+val make : Sim.Memory.t -> base:Locks.Lock_intf.mutex -> Rme_intf.rme

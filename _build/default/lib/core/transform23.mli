@@ -1,0 +1,62 @@
+(** Transformations 2 and 3 (Fig. 4, Theorems 4.9 and 4.11).
+
+    Transformation 2 (the figure's black code) adds {e Critical Section
+    Re-entry} to any recoverable base mutex: ownership is tracked in
+    [inCSpid] (the owner's ID, negated while the owner is re-entering after
+    a crash) and [inCSepoch]; recovering processes that observe a stale
+    owner park at barrier BR1 until the owner has re-entered and exited,
+    at which point the owner opens BR1.
+
+    Transformation 3 (the gray code, enabled with [helping = true]) further
+    adds {e Failures-Robust Fairness}: even with infinitely many failures,
+    a process that leaves the NCS eventually enters the CS. A round-robin
+    index [hInd] designates a privileged process per epoch; if its help
+    flag [h] is set, everyone else parks at barrier BR2 until the
+    privileged process has entered the CS (it opens BR2 from inside).
+
+    Both preserve the base's asymptotic RMR complexity. Bounded exit and
+    bounded recovery hold in the special cases discussed in Section 4.2
+    (in particular in all failure-free passages). *)
+
+val make :
+  ?fast_path:bool ->
+  ?literal_line97:bool ->
+  ?csr:bool ->
+  helping:bool ->
+  Sim.Memory.t ->
+  base:Rme_intf.rme ->
+  Rme_intf.rme
+(** [make ~helping mem ~base]: Transformation 2 when [helping] is false,
+    Transformation 3 (which contains Transformation 2) when true.
+
+    [csr] (default true) controls the black CSR code (lines 76-80 and the
+    BR1 barricade). [csr:false] with [helping:true] realizes the paper's
+    footnote 3: the FRF helping mechanism applied directly to a
+    Transformation-1 mutex — failures-robust fair, but {e not} CSR. The
+    [inCSpid]/[inCSepoch] bookkeeping remains (the helping conditions
+    consult it); only the re-entry priority is dropped.
+
+    [literal_line97] (default false) reverts our liveness fix and follows
+    Fig. 4 line 97 to the letter: BR2 is opened only when [hInd < 0]. As
+    published, a recovering process that observes a {e normal} entrant's
+    help flag during the window between lines 87 and 94 — possible while
+    [hEpoch] still trails the current epoch right after a boot or crash —
+    blocks at line 86 forever in a failure-free epoch, because no process
+    ever sets [hInd] negative and hence no process opens BR2. The tests
+    reproduce that wedge mechanically; see DESIGN.md §5. *)
+
+val csr : ?fast_path:bool -> Sim.Memory.t -> base:Rme_intf.rme -> Rme_intf.rme
+(** Transformation 2 only. *)
+
+val csr_frf :
+  ?fast_path:bool -> Sim.Memory.t -> base:Rme_intf.rme -> Rme_intf.rme
+(** Transformation 3 (CSR + FRF). *)
+
+val csr_frf_literal : Sim.Memory.t -> base:Rme_intf.rme -> Rme_intf.rme
+(** Transformation 3 exactly as published ([literal_line97 = true]); kept
+    as a reproduction artifact of the liveness race described at {!make}. *)
+
+val frf_only :
+  ?fast_path:bool -> Sim.Memory.t -> base:Rme_intf.rme -> Rme_intf.rme
+(** Footnote 3's variant: FRF without CSR ([csr = false],
+    [helping = true]). *)

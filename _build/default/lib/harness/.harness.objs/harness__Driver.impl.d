@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array Format Memory Printf Proc Rme Runtime Schedule Sim Stats

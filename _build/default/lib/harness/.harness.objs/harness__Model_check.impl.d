@@ -1,0 +1,1 @@
+lib/harness/model_check.ml: Array Format List Memory Option Printf Runtime Sim Stack String

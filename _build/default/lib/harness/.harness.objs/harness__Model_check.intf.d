@@ -1,0 +1,1 @@
+lib/harness/model_check.mli: Format Sim

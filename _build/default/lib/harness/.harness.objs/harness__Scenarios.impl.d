@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Array Memory Model_check Printf Proc Rme Sim

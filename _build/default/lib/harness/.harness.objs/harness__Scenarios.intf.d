@@ -1,0 +1,1 @@
+lib/harness/scenarios.mli: Locks Model_check Rme Sim

@@ -1,0 +1,209 @@
+open Sim
+
+type outcome = {
+  runs : int;
+  steps : int;
+  violations : string list;
+  step_cap_hits : int;
+  deadlocks : int;
+  truncated : bool;
+}
+
+type ctx = {
+  violation : string -> unit;
+  on_crash : (epoch:int -> unit) -> unit;
+  on_crash_one : (pid:int -> unit) -> unit;
+  on_finish : (unit -> unit) -> unit;
+}
+
+type scenario = {
+  n : int;
+  model : Memory.model;
+  make_body : Memory.t -> ctx -> pid:int -> epoch:int -> unit;
+}
+
+(* Decisions are encoded as ints: pid > 0 is a step, 0 is a system-wide
+   crash, -pid is an independent crash of that process. *)
+let crash_decision = 0
+
+(* A work item shares its parent run's trace array: replay [base.(0 ..
+   cut - 1)], then [alt] (unless it is [no_alt]), then scheduler defaults.
+   Sharing keeps the frontier's memory linear in the number of pending
+   items. *)
+type item = { base : int array; cut : int; alt : int }
+
+let no_alt = min_int
+
+let max_recorded_violations = 20
+
+let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
+    ?(max_steps = 20_000) ?(max_runs = 200_000) ?(stop_on_first = false)
+    scenario =
+  let runs = ref 0 in
+  let steps = ref 0 in
+  let violations = ref [] in
+  let step_cap_hits = ref 0 in
+  let deadlocks = ref 0 in
+  let record_violation msg =
+    if
+      List.length !violations < max_recorded_violations
+      && not (List.mem msg !violations)
+    then violations := msg :: !violations
+  in
+  let work = Stack.create () in
+  Stack.push { base = [||]; cut = 0; alt = no_alt } work;
+  let run_one { base; cut; alt } =
+    incr runs;
+    let mem = Memory.create ~model:scenario.model ~n:scenario.n in
+    let crash_hooks = ref [] in
+    let crash_one_hooks = ref [] in
+    let finish_hooks = ref [] in
+    let ctx =
+      {
+        violation = record_violation;
+        on_crash = (fun h -> crash_hooks := h :: !crash_hooks);
+        on_crash_one = (fun h -> crash_one_hooks := h :: !crash_one_hooks);
+        on_finish = (fun h -> finish_hooks := h :: !finish_hooks);
+      }
+    in
+    let body = scenario.make_body mem ctx in
+    let rt = Runtime.create mem ~body in
+    List.iter (Runtime.on_crash rt) !crash_hooks;
+    let forced_len = if alt <> no_alt then cut + 1 else cut in
+    let forced i = if i < cut then base.(i) else alt in
+    (* The trace actually taken, and the positions at which alternatives
+       remain to be explored. *)
+    let taken = ref [] in
+    let choice_points = ref [] in
+    let cur = ref 0 in
+    let divergences = ref 0 in
+    let crashes = ref 0 in
+    let crash_ones = ref 0 in
+    let pos = ref 0 in
+    let capped = ref false in
+    (* Run-until-blocked default: keep stepping the current process while
+       it is productive; on spin-block or completion, rotate to the next
+       productive process. Fair, and terminating for livelock-free
+       algorithms. *)
+    let default productive =
+      if List.mem !cur productive then !cur
+      else
+        match List.find_opt (fun pid -> pid > !cur) productive with
+        | Some pid -> pid
+        | None -> List.hd productive
+    in
+    let rec loop () =
+      match Runtime.enabled rt with
+      | [] -> ()
+      | enabled ->
+        let productive = List.filter (fun p -> not (Runtime.blocked rt p)) enabled in
+        if productive = [] then begin
+          (* Every runnable process is spinning on a condition no one can
+             ever change: a genuine deadlock (a crash would reset it, but
+             a failure-free suffix stays stuck — a liveness violation). *)
+          incr deadlocks;
+          let where =
+            String.concat ", "
+              (List.map
+                 (fun p ->
+                   Printf.sprintf "p%d@%s" p
+                     (Option.value ~default:"?" (Runtime.blocked_on rt p)))
+                 enabled)
+          in
+          record_violation ("deadlock: " ^ where);
+          if !crashes < crash_bound then
+            Stack.push
+              { base = Array.of_list (List.rev !taken); cut = !pos;
+                alt = crash_decision }
+              work;
+          if !crash_ones < crash_one_bound then
+            List.iter
+              (fun pid ->
+                Stack.push
+                  { base = Array.of_list (List.rev !taken); cut = !pos;
+                    alt = -pid }
+                  work)
+              enabled
+        end
+        else if !pos >= max_steps then begin
+          capped := true;
+          incr step_cap_hits;
+          record_violation "step cap exceeded (possible livelock)"
+        end
+        else begin
+          let default_pid = default productive in
+          let decision = if !pos < forced_len then forced !pos else default_pid in
+          if !pos >= forced_len then
+            choice_points :=
+              (!pos, productive, default_pid, !divergences, !crashes,
+               !crash_ones)
+              :: !choice_points;
+          if decision = crash_decision then begin
+            incr crashes;
+            Runtime.crash rt ()
+          end
+          else if decision < 0 then begin
+            incr crash_ones;
+            let victim = -decision in
+            Runtime.crash_one rt victim;
+            List.iter (fun h -> h ~pid:victim) !crash_one_hooks
+          end
+          else begin
+            if decision <> default_pid then incr divergences;
+            Runtime.step rt decision;
+            cur := decision
+          end;
+          taken := decision :: !taken;
+          incr pos;
+          incr steps;
+          loop ()
+        end
+    in
+    loop ();
+    if not !capped then List.iter (fun h -> h ()) !finish_hooks;
+    (* Branch: preempting to another productive process costs divergence
+       budget; injecting a crash costs crash budget. Positions inside the
+       forced prefix were branched when their ancestors ran. *)
+    let trace = Array.of_list (List.rev !taken) in
+    List.iter
+      (fun ( i,
+             productive,
+             default_pid,
+             div_before,
+             crashes_before,
+             crash_ones_before ) ->
+        if div_before < divergence_bound then
+          List.iter
+            (fun pid ->
+              if pid <> default_pid then
+                Stack.push { base = trace; cut = i; alt = pid } work)
+            productive;
+        if crashes_before < crash_bound then
+          Stack.push { base = trace; cut = i; alt = crash_decision } work;
+        if crash_ones_before < crash_one_bound then
+          for pid = 1 to scenario.n do
+            Stack.push { base = trace; cut = i; alt = -pid } work
+          done)
+      !choice_points
+  in
+  let stop () = stop_on_first && !violations <> [] in
+  while (not (Stack.is_empty work)) && !runs < max_runs && not (stop ()) do
+    run_one (Stack.pop work)
+  done;
+  {
+    runs = !runs;
+    steps = !steps;
+    violations = List.rev !violations;
+    step_cap_hits = !step_cap_hits;
+    deadlocks = !deadlocks;
+    truncated = not (Stack.is_empty work);
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>runs=%d steps=%d cap-hits=%d deadlocks=%d truncated=%b \
+     violations=%d%a@]"
+    o.runs o.steps o.step_cap_hits o.deadlocks o.truncated
+    (List.length o.violations)
+    (fun ppf vs -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v) vs)
+    o.violations

@@ -1,0 +1,81 @@
+(** Bounded systematic concurrency testing (stateless, CHESS-style).
+
+    Effects continuations are one-shot, so exploration is by {e replay}:
+    each explored schedule re-executes the scenario from its initial state.
+    The search walks a tree of decision sequences. The default schedule
+    runs the current process until it spin-blocks (see {!Sim.Runtime.blocked})
+    or finishes, then rotates to the next productive process — fair, and
+    terminating for livelock-free algorithms. At every position the search
+    also branches to
+
+    - any other {e productive} process, while the {e divergence budget}
+      lasts (a CHESS-style preemption bound; stepping a spin-blocked
+      process only re-reads a cell and cannot change shared state, so
+      skipping blocked processes loses no reachable states), and
+    - a system-wide crash step, while the {e crash budget} lasts.
+
+    A state in which every runnable process is spin-blocked is reported as
+    a deadlock immediately (only a crash could ever unblock it).
+
+    With small process counts this systematically covers every schedule
+    within the bounds — including a crash at {e every} reachable step when
+    [crash_bound >= 1] — which is the evidence we offer in place of the
+    paper's omitted proofs (experiment E9). *)
+
+type outcome = {
+  runs : int;  (** schedules executed *)
+  steps : int;  (** total simulated steps across all runs *)
+  violations : string list;  (** distinct violation descriptions (capped) *)
+  step_cap_hits : int;
+      (** runs that exceeded [max_steps] — livelock suspects, since the
+          default continuation is fair *)
+  deadlocks : int;
+      (** runs that reached a state where every runnable process was
+          spin-blocked *)
+  truncated : bool;  (** true if [max_runs] stopped the search early *)
+}
+
+(** A checkable scenario: [make_body] builds the per-process program and
+    wires its monitors through [ctx]. The run is terminal when every
+    process body has returned and no crash re-enables work. *)
+type ctx = {
+  violation : string -> unit;
+  on_crash : (epoch:int -> unit) -> unit;
+      (** register a hook called at each system-wide crash step *)
+  on_crash_one : (pid:int -> unit) -> unit;
+      (** register a hook called when an independent crash destroys one
+          process (see [crash_one_bound]) *)
+  on_finish : (unit -> unit) -> unit;
+      (** register a final check executed when a run ends cleanly *)
+}
+
+type scenario = {
+  n : int;
+  model : Sim.Memory.model;
+  make_body : Sim.Memory.t -> ctx -> pid:int -> epoch:int -> unit;
+}
+
+val explore :
+  ?divergence_bound:int ->
+  ?crash_bound:int ->
+  ?crash_one_bound:int ->
+  ?max_steps:int ->
+  ?max_runs:int ->
+  ?stop_on_first:bool ->
+  scenario ->
+  outcome
+(** Defaults: [divergence_bound = 1], [crash_bound = 0],
+    [crash_one_bound = 0] (budget of {e independent} single-process
+    crashes branched at every position, every victim — for checking
+    algorithms that claim recovery from individual failures, like
+    {!Rme.Fasas_clh}), [max_steps = 20_000] per run,
+    [max_runs = 200_000], [stop_on_first = false] (when true, the search
+    stops at the first recorded violation — useful for exhibiting a known
+    bug cheaply).
+
+    Caveat: the run-until-blocked default cannot cope with algorithms that
+    busy-wait through raw retry loops instead of {!Sim.Proc.await} (e.g.
+    the test-and-set lock's CAS loop) — those runs hit the step cap. All
+    algorithms in this repository except [Locks.Tas] declare their spins. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,35 @@
+let f1 x = Printf.sprintf "%.1f" x
+let i = string_of_int
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let s = match List.nth_opt row c with Some s -> s | None -> "" in
+          s ^ String.make (w - String.length s) ' ')
+        widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  print_newline ();
+  Printf.printf "### %s\n\n" title;
+  print_endline (render header);
+  print_endline rule;
+  List.iter (fun r -> print_endline (render r)) rows;
+  print_newline ()

@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the benchmark harness (aligned columns,
+    Markdown-ish separators), so every experiment prints rows the way the
+    paper's claims read. *)
+
+val table : title:string -> header:string list -> string list list -> unit
+(** Print a titled, column-aligned table to stdout. *)
+
+val f1 : float -> string
+(** Format a float with one decimal. *)
+
+val i : int -> string

@@ -1,0 +1,44 @@
+(** Ready-made {!Model_check} scenarios for the paper's algorithms. *)
+
+val rme :
+  ?passages:int ->
+  ?check_csr:bool ->
+  n:int ->
+  model:Sim.Memory.model ->
+  make:(Sim.Memory.t -> Rme.Rme_intf.rme) ->
+  unit ->
+  Model_check.scenario
+(** Each process performs [passages] (default 1) passages over the lock.
+    Checked: mutual exclusion (occupancy monitor {e and} a lost-update
+    counter), critical-section re-entry after a crash in the CS
+    ([check_csr], default true — disable for locks like Transformation 1's
+    output that legitimately lack CSR), and termination under the fair
+    default schedule. *)
+
+val mutex :
+  ?passages:int ->
+  n:int ->
+  model:Sim.Memory.model ->
+  make:(Sim.Memory.t -> Locks.Lock_intf.mutex) ->
+  unit ->
+  Model_check.scenario
+(** Same checks (minus CSR) for a conventional lock; meaningful only with
+    [crash_bound = 0]. *)
+
+val barrier :
+  ?epochs:int ->
+  n:int ->
+  model:Sim.Memory.model ->
+  unit ->
+  Model_check.scenario
+(** Every process calls the unknown-leader {!Rme.Barrier} once per epoch
+    (process 1 is the leader). Checked: Definition 3.1(i) — no call returns
+    before the leader's call has begun — and termination, i.e. 3.1(ii) and
+    (iii) under the fair default schedule. [epochs] > 1 inserts a crash
+    between rounds of calls, exercising the stale-announcement reset and
+    the tag/ABA machinery. *)
+
+val barrier_sub :
+  ?lid:int -> n:int -> model:Sim.Memory.model -> unit -> Model_check.scenario
+(** Same checks for the known-leader {!Rme.Barrier_sub} with leader
+    [lid] (default 1). *)

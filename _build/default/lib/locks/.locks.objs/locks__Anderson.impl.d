@@ -1,0 +1,1 @@
+lib/locks/anderson.ml: Array Lock_intf Memory Printf Proc Sim

@@ -1,0 +1,1 @@
+lib/locks/bakery.ml: Array Lock_intf Memory Printf Proc Sim Stdlib

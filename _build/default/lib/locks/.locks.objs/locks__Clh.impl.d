@@ -1,0 +1,1 @@
+lib/locks/clh.ml: Array Lock_intf Memory Printf Proc Sim Stdlib

@@ -1,0 +1,1 @@
+lib/locks/mcs.ml: Array Lock_intf Memory Printf Proc Sim

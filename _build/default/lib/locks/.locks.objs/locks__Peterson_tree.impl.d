@@ -1,0 +1,1 @@
+lib/locks/peterson_tree.ml: Array Lock_intf Memory Printf Proc Sim Tree

@@ -1,0 +1,1 @@
+lib/locks/peterson_tree.mli: Lock_intf Sim

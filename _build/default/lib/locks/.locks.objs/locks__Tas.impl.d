@@ -1,0 +1,1 @@
+lib/locks/tas.ml: Lock_intf Memory Proc Sim

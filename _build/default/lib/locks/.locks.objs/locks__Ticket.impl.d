@@ -1,0 +1,1 @@
+lib/locks/ticket.ml: Array Lock_intf Memory Proc Sim

@@ -1,0 +1,1 @@
+lib/locks/ttas.ml: Lock_intf Memory Proc Sim

@@ -1,0 +1,1 @@
+lib/locks/ttas.mli: Lock_intf Sim

@@ -1,0 +1,1 @@
+lib/locks/yang_anderson.ml: Array Lock_intf Memory Printf Proc Sim Stdlib Tree

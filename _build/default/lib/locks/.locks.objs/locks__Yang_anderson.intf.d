@@ -1,0 +1,1 @@
+lib/locks/yang_anderson.mli: Lock_intf Sim

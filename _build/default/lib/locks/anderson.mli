@@ -1,0 +1,8 @@
+(** Anderson's array-based queue lock (T. Anderson 1990, the paper's
+    reference [4]): fetch-and-add hands each arrival a slot in a circular
+    array of spin flags; the releaser sets the next slot. O(1) RMRs per
+    passage in the CC model (each waiter spins on its own slot), but
+    unbounded in the DSM model because slots rotate among processes and
+    cannot be statically home-allocated. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

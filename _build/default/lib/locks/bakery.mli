@@ -1,0 +1,9 @@
+(** Lamport's Bakery (1974, the paper's reference [24]): mutual exclusion
+    from single-writer read/write registers only — no RMW primitives at
+    all. FIFO by ticket order, but each passage scans every other process,
+    so it costs Ω(N) RMRs even uncontended, and waiting is remote in both
+    cost models. Historically notable for crash tolerance: Lamport showed
+    it survives a process's registers being reset to zero, which is why
+    its [reset] (zero everything) is exactly its initial state. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

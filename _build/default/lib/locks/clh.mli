@@ -1,0 +1,7 @@
+(** CLH queue lock (Craig; Landin & Hagersten). FIFO and starvation-free.
+    Each waiter spins on its {e predecessor's} node: O(1) RMRs per passage
+    in the CC model but unbounded in the DSM model, because the predecessor
+    node is remote — the classic CC/DSM separation example, included to
+    validate the simulator's two cost models against known results. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

@@ -1,0 +1,12 @@
+(** MCS queue lock (Mellor-Crummey & Scott 1991), the base mutex of the
+    paper's headline construction (Section 4: "Applying these to the MCS
+    lock, we obtain an O(1) RMRs RME algorithm that uses read/write
+    registers as well as single-word Fetch-And-Store and Compare-And-Swap").
+
+    O(1) RMRs per passage in both the CC and DSM models: each waiter spins
+    on its own locally-homed flag. FIFO, hence starvation-free. Resetting it
+    to the initial state is a single write ([tail := nil]) because entering
+    processes re-initialize their own queue nodes — this is what makes
+    f(B) = O(1) in Theorem 4.1. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

@@ -1,0 +1,7 @@
+(** Tournament tree of two-process Peterson locks: an N-process
+    starvation-free mutex from reads and writes only. Θ(log N) operations
+    per passage, but {e not} local-spin in the DSM model (waiters spin on
+    the shared [flag]/[turn] registers), so its DSM RMR count is unbounded
+    under contention — contrast with {!Yang_anderson}, which spins locally. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

@@ -1,0 +1,13 @@
+open Sim
+
+let make mem =
+  let flag = Memory.global mem ~name:"tas.flag" 0 in
+  let rec acquire () =
+    if not (Proc.cas_success flag ~expect:0 ~repl:1) then acquire ()
+  in
+  {
+    Lock_intf.name = "tas";
+    enter = (fun ~pid:_ -> acquire ());
+    exit = (fun ~pid:_ -> Proc.write flag 0);
+    reset = (fun ~pid:_ -> Proc.write flag 0);
+  }

@@ -1,0 +1,5 @@
+(** Test-and-set spin lock. Simple and correct, but each failed CAS is an
+    RMR, so its RMR complexity is unbounded under contention in both cost
+    models. Deadlock-free but not starvation-free. Baseline only. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

@@ -1,0 +1,23 @@
+open Sim
+
+let make mem =
+  let n = Memory.n mem in
+  let next = Memory.global mem ~name:"ticket.next" 0 in
+  let serving = Memory.global mem ~name:"ticket.serving" 0 in
+  (* The held ticket is process-private state (wiped by a crash; reset by
+     [reset], which runs before any post-crash entry). *)
+  let my_ticket = Array.make (n + 1) 0 in
+  {
+    Lock_intf.name = "ticket";
+    enter =
+      (fun ~pid ->
+        let t = Proc.faa next 1 in
+        my_ticket.(pid) <- t;
+        ignore (Proc.await serving ~until:(fun v -> v = t)));
+    exit = (fun ~pid -> Proc.write serving (my_ticket.(pid) + 1));
+    reset =
+      (fun ~pid:_ ->
+        Proc.write next 0;
+        Proc.write serving 0;
+        Array.fill my_ticket 0 (n + 1) 0);
+  }

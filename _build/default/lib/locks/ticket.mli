@@ -1,0 +1,6 @@
+(** Ticket lock (fetch-and-add). FIFO and starvation-free, but all waiters
+    spin on the shared [serving] counter: Θ(N) RMRs per passage in the CC
+    model (every hand-off invalidates every waiter) and unbounded in the
+    DSM model. Baseline only. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

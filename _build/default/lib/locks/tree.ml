@@ -1,0 +1,27 @@
+type t = { n : int; leaves : int; depth : int }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let make n =
+  if n < 1 then invalid_arg "Tree.make: n must be >= 1";
+  let leaves = next_pow2 n in
+  let rec log2 = function 1 -> 0 | l -> 1 + log2 (l / 2) in
+  { n; leaves; depth = log2 leaves }
+
+let n t = t.n
+let internal_nodes t = t.leaves - 1
+let depth t = t.depth
+
+let path t ~pid =
+  if pid < 1 || pid > t.n then invalid_arg "Tree.path: bad pid";
+  let steps = Array.make t.depth (0, 0) in
+  let rec climb node level =
+    if node > 1 then begin
+      steps.(level) <- (node / 2, node land 1);
+      climb (node / 2) (level + 1)
+    end
+  in
+  climb (t.leaves + pid - 1) 0;
+  steps

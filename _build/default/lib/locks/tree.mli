@@ -1,0 +1,26 @@
+(** Complete binary arbitration tree shared by the tournament locks
+    (Peterson tree, Yang–Anderson). Internal nodes are numbered [1 .. L-1]
+    in heap order (root = 1); process [p] owns leaf [L + p - 1], where [L]
+    is the number of leaves (the least power of two >= n). *)
+
+type t
+
+val make : int -> t
+(** [make n] builds the tree shape for [n] processes ([n >= 1]). *)
+
+val n : t -> int
+
+val internal_nodes : t -> int
+(** Number of internal (competition) nodes, [L - 1]. *)
+
+val depth : t -> int
+(** Number of competition levels on each leaf-to-root path
+    ([0] when [n = 1]). *)
+
+val path : t -> pid:int -> (int * int) array
+(** [path t ~pid] is the competition path of [pid], bottom-up: element [l]
+    is [(node, side)] — the internal node fought at level [l] and the side
+    ([0] = arrived from the left child, [1] = right) the process plays
+    there. Acquisition walks the array forward; release walks it backward
+    (top-down), which preserves the invariant that at most one process
+    plays each side of a node at any time. *)

@@ -1,0 +1,6 @@
+(** Test-and-test-and-set spin lock: spins by reading (cache-friendly in the
+    CC model) and attempts the CAS only when the lock looks free. Still
+    unbounded RMRs in the DSM model (the spin variable is remote for all but
+    one process). Deadlock-free but not starvation-free. Baseline only. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

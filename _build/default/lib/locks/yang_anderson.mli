@@ -1,0 +1,13 @@
+(** Yang–Anderson arbitration-tree lock (Yang & Anderson 1995): the classic
+    Θ(log N)-RMR mutual exclusion algorithm from reads and writes only,
+    local-spin in both the CC and DSM models. This is the algorithm that
+    matches the Θ(log N) lower bound for comparison-primitive ME (Attiya,
+    Hendler & Woelfel 2008) which the paper's O(1) construction escapes by
+    strengthening the failure model.
+
+    Each tree node runs the Yang–Anderson two-process lock; process [p]
+    spins only on its own per-level flag [P[p][l]] (homed at [p]). Used as
+    the logarithmic baseline in experiments E1–E3, both bare and wrapped by
+    Transformation 1. *)
+
+val make : Sim.Memory.t -> Lock_intf.mutex

@@ -1,0 +1,1 @@
+lib/native/barrier.ml: Array Atomic Crash Natomic

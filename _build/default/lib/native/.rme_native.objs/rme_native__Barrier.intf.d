@@ -1,0 +1,1 @@
+lib/native/barrier.mli: Crash

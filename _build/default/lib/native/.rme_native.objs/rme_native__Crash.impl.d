@@ -1,0 +1,1 @@
+lib/native/crash.ml: Atomic Domain Unix

@@ -1,0 +1,1 @@
+lib/native/mcs.ml: Array Atomic Crash Intf Natomic

@@ -1,0 +1,1 @@
+lib/native/mcs.mli: Crash Intf

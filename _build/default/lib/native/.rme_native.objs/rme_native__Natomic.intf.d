@@ -1,0 +1,1 @@
+lib/native/natomic.mli: Atomic

@@ -1,0 +1,1 @@
+lib/native/simple.ml: Array Atomic Crash Intf Natomic

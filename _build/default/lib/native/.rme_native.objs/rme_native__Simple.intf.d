@@ -1,0 +1,1 @@
+lib/native/simple.mli: Crash Intf

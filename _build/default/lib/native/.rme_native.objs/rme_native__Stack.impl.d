@@ -1,0 +1,1 @@
+lib/native/stack.ml: Intf Mcs Simple Transform1 Transform23

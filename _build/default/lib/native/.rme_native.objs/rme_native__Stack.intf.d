@@ -1,0 +1,1 @@
+lib/native/stack.mli: Barrier Crash Intf

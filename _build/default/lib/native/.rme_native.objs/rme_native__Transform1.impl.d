@@ -1,0 +1,1 @@
+lib/native/transform1.ml: Atomic Barrier Intf Natomic

@@ -1,0 +1,1 @@
+lib/native/transform1.mli: Barrier Crash Intf

@@ -1,0 +1,1 @@
+lib/native/transform23.ml: Array Atomic Barrier Intf

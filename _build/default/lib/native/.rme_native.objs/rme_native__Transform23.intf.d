@@ -1,0 +1,1 @@
+lib/native/transform23.mli: Barrier Crash Intf

@@ -1,0 +1,1 @@
+lib/native/workers.ml: Array Atomic Crash Domain Format Intf List Printf Unix

@@ -1,0 +1,1 @@
+lib/native/workers.mli: Crash Format Intf Stdlib

@@ -1,0 +1,136 @@
+(** Native port of the recovery barrier (Fig. 2). Two variants:
+
+    - [`Spin] — the BarrierCC path: the leader publishes the epoch in [R],
+      everyone else spins on it. The natural choice on real (cache-
+      coherent) hardware.
+    - [`Distributed] — the full BarrierDSM path, including the tagged
+      secondary-leader election and the chain-signalling BarrierSub. On
+      cache-coherent hardware it buys nothing, but running it natively is a
+      differential test of the paper's most intricate code against real
+      weak-memory interleavings.
+
+    Values are packed exactly as in the simulator (⊥ = 0,
+    ⟨id,tag⟩ = 2·id+tag). *)
+
+type variant = [ `Spin | `Distributed ]
+
+type t = {
+  crash : Crash.t;
+  n : int;
+  variant : variant;
+  r : int Atomic.t;
+  c : int Atomic.t;
+  s : int Atomic.t array;
+  e : int Atomic.t array array; (* tag registers E[i][0..1] *)
+  sub_r : int Atomic.t;
+  sub_c : int Atomic.t array array;
+  sub_i : int Atomic.t array array;
+  sub_l : int Atomic.t array array;
+  sub_s : int Atomic.t array;
+}
+
+let create ?(variant = `Spin) crash ~n =
+  let arr () = Array.init (n + 1) (fun _ -> Atomic.make 0) in
+  let mat () = Array.init (n + 1) (fun _ -> arr ()) in
+  {
+    crash;
+    n;
+    variant;
+    r = Atomic.make 0;
+    c = Atomic.make 0;
+    s = arr ();
+    e = mat ();
+    sub_r = Atomic.make 0;
+    sub_c = mat ();
+    sub_i = mat ();
+    sub_l = mat ();
+    sub_s = arr ();
+  }
+
+let pair ~id ~tag = (2 * id) + tag
+let id_of v = v / 2
+let tag_of v = v land 1
+
+(* GetTag / SetTag (Fig. 2 lines 33-40, 59-61). *)
+let get_tag t ~epoch ~who =
+  let e0 = Atomic.get t.e.(who).(0) in
+  let e1 = Atomic.get t.e.(who).(1) in
+  if e0 = epoch then 0 else if e1 = epoch then 1 else if e0 > e1 then 1 else 0
+
+let set_tag t ~epoch ~pid =
+  let tag = get_tag t ~epoch ~who:pid in
+  Atomic.set t.e.(pid).(tag) epoch;
+  tag
+
+(* BarrierSub (Fig. 1). *)
+let sub_leader t ~pid ~epoch =
+  let k = ref 1 in
+  for j = 1 to t.n do
+    let tmp = Atomic.get t.sub_c.(pid).(j) in
+    if Natomic.cas t.sub_c.(pid).(j) ~expect:tmp ~repl:epoch = epoch then begin
+      Atomic.set t.sub_l.(pid).(!k) j;
+      Atomic.set t.sub_i.(pid).(j) !k;
+      incr k
+    end
+  done;
+  if !k > 1 then begin
+    let first = Atomic.get t.sub_l.(pid).(1) in
+    Atomic.set t.sub_s.(first) epoch
+  end
+
+let sub_non_leader t ~pid ~epoch ~lid =
+  let tmp = Atomic.get t.sub_c.(lid).(pid) in
+  if Natomic.cas t.sub_c.(lid).(pid) ~expect:tmp ~repl:epoch < epoch then begin
+    Crash.spin_until t.crash (fun () -> Atomic.get t.sub_s.(pid) = epoch);
+    let k = Atomic.get t.sub_i.(lid).(pid) in
+    if k < t.n then begin
+      let succ = Atomic.get t.sub_l.(lid).(k + 1) in
+      if succ <> 0 then Atomic.set t.sub_s.(succ) epoch
+    end
+  end
+
+let sub_enter t ~pid ~epoch ~lid =
+  if Atomic.get t.sub_r = epoch then ()
+  else if lid = pid then begin
+    Atomic.set t.sub_r epoch;
+    sub_leader t ~pid ~epoch
+  end
+  else sub_non_leader t ~pid ~epoch ~lid
+
+(* BarrierDSM (Fig. 2 lines 41-58). *)
+let enter_distributed t ~pid ~epoch ~leader =
+  if Atomic.get t.r = epoch then ()
+  else begin
+    let cv = Atomic.get t.c in
+    if cv <> 0 then begin
+      let secldr = id_of cv and ltag = tag_of cv in
+      if ltag <> get_tag t ~epoch ~who:secldr then
+        ignore (Natomic.cas t.c ~expect:cv ~repl:0)
+    end;
+    let tag = set_tag t ~epoch ~pid in
+    let secldr =
+      if leader then begin
+        Atomic.set t.r epoch;
+        let old = Natomic.cas t.c ~expect:0 ~repl:(pair ~id:pid ~tag) in
+        let secldr = if old = 0 then pid else id_of old in
+        Atomic.set t.s.(secldr) epoch;
+        secldr
+      end
+      else begin
+        let old = Natomic.cas t.c ~expect:0 ~repl:(pair ~id:pid ~tag) in
+        if old = 0 then begin
+          Crash.spin_until t.crash (fun () -> Atomic.get t.s.(pid) = epoch);
+          pid
+        end
+        else id_of old
+      end
+    in
+    sub_enter t ~pid ~epoch ~lid:secldr
+  end
+
+let enter t ~pid ~epoch ~leader =
+  match t.variant with
+  | `Spin ->
+    if leader then Atomic.set t.r epoch
+    else Crash.spin_until t.crash (fun () -> Atomic.get t.r = epoch)
+  | `Distributed -> enter_distributed t ~pid ~epoch ~leader

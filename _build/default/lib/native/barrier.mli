@@ -1,0 +1,22 @@
+(** Native port of the recovery barrier (Fig. 2). Two variants:
+
+    - [`Spin]: the BarrierCC path — the leader publishes the epoch in a
+      shared register and everyone else spins on it. The natural choice on
+      real (cache-coherent) hardware.
+    - [`Distributed]: the full BarrierDSM path, including the tagged
+      secondary-leader election (ABA-safe reset) and the chain-signalling
+      BarrierSub. On cache-coherent hardware it buys nothing, but running
+      it natively differentially tests the paper's most intricate code
+      against real interleavings.
+
+    All spin loops poll the crash flag, so waiters unwind when a
+    stop-the-world crash is declared. *)
+
+type variant = [ `Spin | `Distributed ]
+
+type t
+
+val create : ?variant:variant -> Crash.t -> n:int -> t
+(** [variant] defaults to [`Spin]. *)
+
+val enter : t -> pid:int -> epoch:int -> leader:bool -> unit

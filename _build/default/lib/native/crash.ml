@@ -1,0 +1,70 @@
+exception Crashed
+
+type t = {
+  n : int;
+  flag : bool Atomic.t;
+  epoch : int Atomic.t;
+  parked : int Atomic.t;
+  active : int Atomic.t;
+}
+
+let create ~n =
+  {
+    n;
+    flag = Atomic.make false;
+    epoch = Atomic.make 1;
+    parked = Atomic.make 0;
+    active = Atomic.make n;
+  }
+
+let epoch t = Atomic.get t.epoch
+
+let check t = if Atomic.get t.flag then raise Crashed
+
+(* Busy-wait politely: [cpu_relax] between re-checks, plus a periodic
+   zero-length sleep so the OS rotates runnable domains. Without the
+   latter, oversubscribed or single-core machines develop convoys where a
+   spinner burns whole timeslices while the domain it waits for is
+   descheduled. *)
+let make_relax () =
+  let count = ref 0 in
+  fun () ->
+    incr count;
+    if !count land 0xff = 0 then Unix.sleepf 1e-6 else Domain.cpu_relax ()
+
+let spin_until t cond =
+  let relax = make_relax () in
+  while
+    check t;
+    not (cond ())
+  do
+    relax ()
+  done
+
+let park t =
+  let relax = make_relax () in
+  ignore (Atomic.fetch_and_add t.parked 1);
+  while Atomic.get t.flag do
+    relax ()
+  done;
+  ignore (Atomic.fetch_and_add t.parked (-1))
+
+let rec worker_run t ~pid body =
+  match body ~epoch:(Atomic.get t.epoch) with
+  | () -> ()
+  | exception Crashed ->
+    park t;
+    worker_run t ~pid body
+
+let crash t =
+  Atomic.set t.flag true;
+  (* Wait until every live worker has stopped taking steps; only then does
+     the epoch advance, which is what makes the failure system-wide. *)
+  let relax = make_relax () in
+  while Atomic.get t.parked < Atomic.get t.active do
+    relax ()
+  done;
+  ignore (Atomic.fetch_and_add t.epoch 1);
+  Atomic.set t.flag false
+
+let worker_done t ~pid:_ = ignore (Atomic.fetch_and_add t.active (-1))

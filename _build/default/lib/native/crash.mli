@@ -1,0 +1,47 @@
+(** The stop-the-world crash protocol that lets real domains emulate the
+    paper's {e system-wide} failures.
+
+    A controller arms the crash flag; every worker polls it inside spin
+    loops and between lock operations and unwinds with {!Crashed} to its
+    top-level handler, losing all passage-local state. Once every live
+    worker has parked, the controller advances the epoch and releases
+    them — so no process takes algorithm steps between observing the crash
+    and the epoch change, which makes the execution equivalent to a
+    history of the system-wide failure model: the crash step linearizes
+    right after the last pre-park operation.
+
+    The epoch counter is exactly the model's environment-provided failure
+    information (Section 2): monotonically increasing, shared by all
+    passages between two crashes. *)
+
+exception Crashed
+
+type t
+
+val create : n:int -> t
+(** [create ~n] prepares the protocol for [n] workers (IDs 1..n). *)
+
+val epoch : t -> int
+
+val check : t -> unit
+(** Poll point: raises {!Crashed} if a crash is in progress. Cheap (one
+    atomic load). *)
+
+val spin_until : t -> (unit -> bool) -> unit
+(** Busy-wait until the condition holds, polling the crash flag on every
+    iteration (with [Domain.cpu_relax]); raises {!Crashed} if a crash is
+    declared while waiting — without this, a waiter whose grantor crashed
+    would hang forever. *)
+
+val worker_run : t -> pid:int -> (epoch:int -> unit) -> unit
+(** [worker_run t ~pid body] runs [body ~epoch] repeatedly: on {!Crashed}
+    it parks until the controller finishes the crash, then re-invokes
+    [body] with the new epoch; it returns when [body] returns normally.
+    Call it from the worker domain's main loop. *)
+
+val crash : t -> unit
+(** Controller side: declare a crash, wait for all unfinished workers to
+    park, advance the epoch, release. Must not be called from a worker. *)
+
+val worker_done : t -> pid:int -> unit
+(** Mark a worker as finished so {!crash} stops waiting for it. *)

@@ -1,0 +1,20 @@
+(** Native counterparts of the simulated lock interfaces: conventional
+    mutexes (with a sequential [reset] for Transformation 1) and
+    recoverable mutexes taking the crash-harness epoch. All spin loops in
+    implementations must poll the crash flag via {!Crash.spin_until}; a
+    waiter whose grantor crashed would otherwise hang, since unlike the
+    simulator the harness cannot destroy a spinning domain. *)
+
+type mutex = {
+  name : string;
+  enter : pid:int -> unit;
+  exit : pid:int -> unit;
+  reset : unit -> unit;
+}
+
+type rme = {
+  name : string;
+  recover : pid:int -> epoch:int -> unit;
+  enter : pid:int -> epoch:int -> unit;
+  exit : pid:int -> epoch:int -> unit;
+}

@@ -1,0 +1,31 @@
+(** Native MCS queue lock (cf. {!Locks.Mcs} for the simulated version and
+    the algorithm commentary). Queue nodes are identified by process ID;
+    [0] is nil. *)
+
+let make crash ~n =
+  let tail = Atomic.make 0 in
+  let next = Array.init (n + 1) (fun _ -> Atomic.make 0) in
+  let locked = Array.init (n + 1) (fun _ -> Atomic.make 0) in
+  {
+    Intf.name = "mcs";
+    enter =
+      (fun ~pid ->
+        Atomic.set next.(pid) 0;
+        let pred = Natomic.fas tail pid in
+        if pred <> 0 then begin
+          Atomic.set locked.(pid) 1;
+          Atomic.set next.(pred) pid;
+          Crash.spin_until crash (fun () -> Atomic.get locked.(pid) = 0)
+        end);
+    exit =
+      (fun ~pid ->
+        let succ = Atomic.get next.(pid) in
+        if succ = 0 then begin
+          if not (Natomic.cas_success tail ~expect:pid ~repl:0) then begin
+            Crash.spin_until crash (fun () -> Atomic.get next.(pid) <> 0);
+            Atomic.set locked.(Atomic.get next.(pid)) 0
+          end
+        end
+        else Atomic.set locked.(succ) 0);
+    reset = (fun () -> Atomic.set tail 0);
+  }

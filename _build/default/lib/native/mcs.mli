@@ -1,0 +1,7 @@
+(** Native MCS queue lock over [int Atomic.t] cells (cf. {!Locks.Mcs} for
+    the simulated version and the algorithm commentary). Queue nodes are
+    identified by process ID; waiting spins poll the crash flag. Reset to
+    the initial state is a single store, which is what makes it the base
+    of choice for Transformation 1. *)
+
+val make : Crash.t -> n:int -> Intf.mutex

@@ -1,0 +1,11 @@
+let rec cas a ~expect ~repl =
+  let cur = Atomic.get a in
+  if cur = expect then
+    if Atomic.compare_and_set a expect repl then expect else cas a ~expect ~repl
+  else cur
+
+let cas_success a ~expect ~repl = Atomic.compare_and_set a expect repl
+
+let fas a v = Atomic.exchange a v
+
+let faa a d = Atomic.fetch_and_add a d

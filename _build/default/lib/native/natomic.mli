@@ -1,0 +1,18 @@
+(** Atomic helpers for the native ports. The paper's pseudo-code uses a
+    CAS that returns the {e old} value; OCaml's [Atomic.compare_and_set]
+    returns a boolean, so [cas] reconstructs the old-value convention with
+    a linearizable retry loop (the returned value is the cell's value at
+    the linearization point: the successful CAS, or the [Atomic.get] that
+    observed a non-matching value). *)
+
+val cas : int Atomic.t -> expect:int -> repl:int -> int
+(** Old-value compare-and-swap. The swap happened iff the result equals
+    [expect]. *)
+
+val cas_success : int Atomic.t -> expect:int -> repl:int -> bool
+
+val fas : int Atomic.t -> int -> int
+(** Fetch-and-store ([Atomic.exchange]). *)
+
+val faa : int Atomic.t -> int -> int
+(** Fetch-and-add. *)

@@ -1,0 +1,45 @@
+(** Native test-and-set, test-and-test-and-set and ticket locks — the
+    conventional baselines for the throughput benches (experiment E10). *)
+
+let tas crash ~n:_ =
+  let flag = Atomic.make 0 in
+  {
+    Intf.name = "tas";
+    enter =
+      (fun ~pid:_ ->
+        Crash.spin_until crash (fun () ->
+            Natomic.cas_success flag ~expect:0 ~repl:1));
+    exit = (fun ~pid:_ -> Atomic.set flag 0);
+    reset = (fun () -> Atomic.set flag 0);
+  }
+
+let ttas crash ~n:_ =
+  let flag = Atomic.make 0 in
+  {
+    Intf.name = "ttas";
+    enter =
+      (fun ~pid:_ ->
+        Crash.spin_until crash (fun () ->
+            Atomic.get flag = 0 && Natomic.cas_success flag ~expect:0 ~repl:1));
+    exit = (fun ~pid:_ -> Atomic.set flag 0);
+    reset = (fun () -> Atomic.set flag 0);
+  }
+
+let ticket crash ~n =
+  let next = Atomic.make 0 in
+  let serving = Atomic.make 0 in
+  let my_ticket = Array.make (n + 1) 0 in
+  {
+    Intf.name = "ticket";
+    enter =
+      (fun ~pid ->
+        let t = Natomic.faa next 1 in
+        my_ticket.(pid) <- t;
+        Crash.spin_until crash (fun () -> Atomic.get serving = t));
+    exit = (fun ~pid -> Atomic.set serving (my_ticket.(pid) + 1));
+    reset =
+      (fun () ->
+        Atomic.set next 0;
+        Atomic.set serving 0;
+        Array.fill my_ticket 0 (n + 1) 0);
+  }

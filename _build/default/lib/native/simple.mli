@@ -1,0 +1,6 @@
+(** Native test-and-set, test-and-test-and-set and ticket locks — the
+    conventional baselines for the throughput benches (experiment E10). *)
+
+val tas : Crash.t -> n:int -> Intf.mutex
+val ttas : Crash.t -> n:int -> Intf.mutex
+val ticket : Crash.t -> n:int -> Intf.mutex

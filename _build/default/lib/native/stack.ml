@@ -1,0 +1,26 @@
+(** Pre-assembled native lock stacks, mirroring {!Rme.Stack}. *)
+
+let conventional crash ~n which : Intf.mutex =
+  match which with
+  | "mcs" -> Mcs.make crash ~n
+  | "tas" -> Simple.tas crash ~n
+  | "ttas" -> Simple.ttas crash ~n
+  | "ticket" -> Simple.ticket crash ~n
+  | other -> invalid_arg ("Stack.conventional: unknown lock " ^ other)
+
+let conventional_names = [ "mcs"; "tas"; "ttas"; "ticket" ]
+
+let recoverable ?variant crash ~n which : Intf.rme =
+  let t1 base = Transform1.make ?variant crash ~n ~base in
+  match which with
+  | "t1-mcs" -> t1 (Mcs.make crash ~n)
+  | "t1-ticket" -> t1 (Simple.ticket crash ~n)
+  | "t2-mcs" ->
+    Transform23.make ?variant ~helping:false crash ~n
+      ~base:(t1 (Mcs.make crash ~n))
+  | "t3-mcs" ->
+    Transform23.make ?variant ~helping:true crash ~n
+      ~base:(t1 (Mcs.make crash ~n))
+  | other -> invalid_arg ("Stack.recoverable: unknown stack " ^ other)
+
+let recoverable_names = [ "t1-mcs"; "t1-ticket"; "t2-mcs"; "t3-mcs" ]

@@ -1,0 +1,14 @@
+(** Pre-assembled native lock stacks, mirroring {!Rme.Stack}. *)
+
+val conventional : Crash.t -> n:int -> string -> Intf.mutex
+(** ["mcs"], ["tas"], ["ttas"] or ["ticket"].
+    @raise Invalid_argument on unknown names. *)
+
+val conventional_names : string list
+
+val recoverable :
+  ?variant:Barrier.variant -> Crash.t -> n:int -> string -> Intf.rme
+(** ["t1-mcs"], ["t1-ticket"], ["t2-mcs"] or ["t3-mcs"].
+    @raise Invalid_argument on unknown names. *)
+
+val recoverable_names : string list

@@ -1,0 +1,25 @@
+(** Native port of Transformation 1 (Fig. 3); see {!Rme.Transform1} for
+    the algorithm commentary. *)
+
+let make ?variant crash ~n ~(base : Intf.mutex) =
+  let c = Atomic.make 0 in
+  let barrier = Barrier.create ?variant crash ~n in
+  let recover ~pid ~epoch =
+    let cur = Atomic.get c in
+    if -epoch < cur && cur < epoch then begin
+      let ret = Natomic.cas c ~expect:cur ~repl:(-epoch) in
+      if ret = cur then begin
+        base.Intf.reset ();
+        Atomic.set c epoch;
+        Barrier.enter barrier ~pid ~epoch ~leader:true
+      end
+      else Barrier.enter barrier ~pid ~epoch ~leader:false
+    end
+    else if cur = -epoch then Barrier.enter barrier ~pid ~epoch ~leader:false
+  in
+  {
+    Intf.name = "t1(" ^ base.Intf.name ^ ")";
+    recover;
+    enter = (fun ~pid ~epoch:_ -> base.Intf.enter ~pid);
+    exit = (fun ~pid ~epoch:_ -> base.Intf.exit ~pid);
+  }

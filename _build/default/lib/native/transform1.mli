@@ -1,0 +1,6 @@
+(** Native port of Transformation 1 (Fig. 3): conventional mutex →
+    recoverable mutex under system-wide failures. See {!Rme.Transform1}
+    for the algorithm commentary. *)
+
+val make :
+  ?variant:Barrier.variant -> Crash.t -> n:int -> base:Intf.mutex -> Intf.rme

@@ -1,0 +1,70 @@
+(** Native port of Transformations 2 and 3 (Fig. 4); see
+    {!Rme.Transform23} for the algorithm commentary, including the line-97
+    liveness fix (BR2 is opened whenever the helping round advances). *)
+
+let make ?variant ~helping crash ~n ~(base : Intf.rme) =
+  let in_cs_pid = Atomic.make 0 in
+  let in_cs_epoch = Atomic.make 0 in
+  let br1 = Barrier.create ?variant crash ~n in
+  let br2 = Barrier.create ?variant crash ~n in
+  let h = Array.init (n + 1) (fun _ -> Atomic.make 0) in
+  let h_ind = Atomic.make 1 in
+  let h_epoch = Atomic.make 0 in
+  let recover ~pid ~epoch =
+    base.Intf.recover ~pid ~epoch;
+    let owner = Atomic.get in_cs_pid in
+    if owner = pid || owner = -pid then ()
+    else begin
+      if owner <> 0 then
+        if Atomic.get in_cs_epoch <> epoch then
+          Barrier.enter br1 ~pid ~epoch ~leader:false;
+      if helping then begin
+        if Atomic.get h_epoch <> epoch then begin
+          let hi = Atomic.get h_ind in
+          let privileged = abs hi in
+          if Atomic.get h.(privileged) = 1 then begin
+            let owner = Atomic.get in_cs_pid in
+            if abs owner <> privileged then
+              if privileged = pid then Atomic.set h_ind (-pid)
+              else Barrier.enter br2 ~pid ~epoch ~leader:false
+          end
+        end
+      end
+    end
+  in
+  let enter ~pid ~epoch =
+    Atomic.set h.(pid) 1;
+    base.Intf.enter ~pid ~epoch;
+    Atomic.set in_cs_epoch epoch;
+    let owner = Atomic.get in_cs_pid in
+    if owner = pid || owner = -pid then Atomic.set in_cs_pid (-pid)
+    else Atomic.set in_cs_pid pid;
+    Atomic.set h.(pid) 0;
+    if helping then
+      if Atomic.get h_epoch <> epoch then begin
+        let owner = Atomic.get in_cs_pid in
+        let hi = Atomic.get h_ind in
+        let skip =
+          owner < 0 && abs owner <> abs hi && Atomic.get h.(abs hi) = 1
+        in
+        if not skip then begin
+          Atomic.set h_epoch epoch;
+          Barrier.enter br2 ~pid ~epoch ~leader:true;
+          Atomic.set h_ind ((abs hi mod n) + 1)
+        end
+      end
+  in
+  let exit ~pid ~epoch =
+    if Atomic.get in_cs_pid = -pid then begin
+      Atomic.set in_cs_pid 0;
+      Barrier.enter br1 ~pid ~epoch ~leader:true
+    end
+    else Atomic.set in_cs_pid 0;
+    base.Intf.exit ~pid ~epoch
+  in
+  {
+    Intf.name = ((if helping then "t3(" else "t2(") ^ base.Intf.name ^ ")");
+    recover;
+    enter;
+    exit;
+  }

@@ -1,0 +1,12 @@
+(** Native port of Transformations 2 and 3 (Fig. 4): adds Critical Section
+    Re-entry, and with [helping] also Failures-Robust Fairness. Includes
+    the line-97 liveness fix (BR2 opens whenever the helping round
+    advances); see {!Rme.Transform23} for the commentary. *)
+
+val make :
+  ?variant:Barrier.variant ->
+  helping:bool ->
+  Crash.t ->
+  n:int ->
+  base:Intf.rme ->
+  Intf.rme

@@ -1,0 +1,119 @@
+type result = {
+  n : int;
+  lock_name : string;
+  completed : int array;
+  crashes : int;
+  me_violations : int;
+  csr_violations : int;
+  csr_reentries : int;
+  cs_completions : int;
+  counter : int;
+  elapsed : float;
+}
+
+let run ?crash_interval ?(max_crashes = 50) ?(csr_poll = true) ~n ~passages
+    ~make () =
+  let crash = Crash.create ~n in
+  let lock = make crash ~n in
+  let completed = Array.init (n + 1) (fun _ -> Atomic.make 0) in
+  let occupancy = Atomic.make 0 in
+  let me_violations = Atomic.make 0 in
+  let csr_owner = Atomic.make 0 in
+  let csr_violations = Atomic.make 0 in
+  let csr_reentries = Atomic.make 0 in
+  let cs_completions = Atomic.make 0 in
+  (* Deliberately plain: lost updates reveal broken mutual exclusion. *)
+  let counter = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker pid () =
+    let holding_cs = ref false in
+    let passage ~epoch =
+      lock.Intf.recover ~pid ~epoch;
+      lock.Intf.enter ~pid ~epoch;
+      if Atomic.fetch_and_add occupancy 1 <> 0 then
+        ignore (Atomic.fetch_and_add me_violations 1);
+      holding_cs := true;
+      let owner = Atomic.get csr_owner in
+      if owner <> 0 then
+        if owner = pid then begin
+          ignore (Atomic.fetch_and_add csr_reentries 1);
+          Atomic.set csr_owner 0
+        end
+        else ignore (Atomic.fetch_and_add csr_violations 1);
+      (* Poll point inside the CS: lets the controller crash us while we
+         hold the lock, which is what gives the CSR machinery work to do. *)
+      if csr_poll then Crash.check crash;
+      counter := !counter + 1;
+      ignore (Atomic.fetch_and_add cs_completions 1);
+      holding_cs := false;
+      ignore (Atomic.fetch_and_add occupancy (-1));
+      lock.Intf.exit ~pid ~epoch;
+      ignore (Atomic.fetch_and_add completed.(pid) 1)
+    in
+    let body ~epoch =
+      try
+        while Atomic.get completed.(pid) < passages do
+          Crash.check crash;
+          passage ~epoch
+        done
+      with Crash.Crashed as e ->
+        (* Crashed inside the CS: release the occupancy monitor and record
+           the owner the CSR property now protects. *)
+        if !holding_cs then begin
+          holding_cs := false;
+          ignore (Atomic.fetch_and_add occupancy (-1));
+          Atomic.set csr_owner pid
+        end;
+        raise e
+    in
+    Crash.worker_run crash ~pid body;
+    Crash.worker_done crash ~pid
+  in
+  let domains = List.init n (fun i -> Domain.spawn (worker (i + 1))) in
+  let crashes = ref 0 in
+  (match crash_interval with
+  | None -> ()
+  | Some dt ->
+    let unfinished () =
+      Array.exists
+        (fun c -> Atomic.get c < passages)
+        (Array.sub completed 1 n)
+    in
+    while unfinished () && !crashes < max_crashes do
+      Unix.sleepf dt;
+      if unfinished () && !crashes < max_crashes then begin
+        Crash.crash crash;
+        incr crashes
+      end
+    done);
+  List.iter Domain.join domains;
+  {
+    n;
+    lock_name = lock.Intf.name;
+    completed = Array.map Atomic.get completed;
+    crashes = !crashes;
+    me_violations = Atomic.get me_violations;
+    csr_violations = Atomic.get csr_violations;
+    csr_reentries = Atomic.get csr_reentries;
+    cs_completions = Atomic.get cs_completions;
+    counter = !counter;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let check_clean r =
+  if r.me_violations > 0 then
+    Error (Printf.sprintf "%d mutual-exclusion violations" r.me_violations)
+  else if r.counter <> r.cs_completions then
+    Error
+      (Printf.sprintf "lost updates: counter=%d, completions=%d" r.counter
+         r.cs_completions)
+  else Ok ()
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%s n=%d: %d passages in %.2fs (%d crashes) ME-viol=%d CSR-viol=%d \
+     CSR-reentries=%d counter-ok=%b"
+    r.lock_name r.n
+    (Array.fold_left ( + ) 0 r.completed)
+    r.elapsed r.crashes r.me_violations r.csr_violations r.csr_reentries
+    (r.counter = r.cs_completions)

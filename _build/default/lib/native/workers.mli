@@ -1,0 +1,40 @@
+(** Native stress/throughput harness: N domains hammer one recoverable
+    lock, a controller injects stop-the-world crashes, and online monitors
+    track the same properties the simulator's driver checks (CS occupancy,
+    CSR, lost updates on an intentionally unprotected counter). *)
+
+type result = {
+  n : int;
+  lock_name : string;
+  completed : int array;  (** per worker, index 1..n *)
+  crashes : int;
+  me_violations : int;
+  csr_violations : int;
+  csr_reentries : int;
+  cs_completions : int;
+  counter : int;
+      (** protected plain (non-atomic) counter; equals [cs_completions]
+          unless mutual exclusion broke *)
+  elapsed : float;  (** seconds *)
+}
+
+val run :
+  ?crash_interval:float ->
+  ?max_crashes:int ->
+  ?csr_poll:bool ->
+  n:int ->
+  passages:int ->
+  make:(Crash.t -> n:int -> Intf.rme) ->
+  unit ->
+  result
+(** [run ~n ~passages ~make ()] spawns [n] worker domains, each executing
+    [passages] passages. [crash_interval] (seconds) arms the crash
+    controller; [max_crashes] (default 50) bounds it. [csr_poll] (default
+    true) inserts a crash poll point {e inside} the critical section so
+    crashed-in-CS recovery is actually exercised. *)
+
+val check_clean : result -> (unit, string) Stdlib.result
+(** [Ok ()] iff all workers finished with no ME violations and no lost
+    updates. *)
+
+val pp_result : Format.formatter -> result -> unit

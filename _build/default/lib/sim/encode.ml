@@ -1,0 +1,15 @@
+let bottom = 0
+
+let is_bottom v = v = 0
+
+let pair ~id ~tag =
+  assert (id >= 1 && (tag = 0 || tag = 1));
+  (2 * id) + tag
+
+let id_of v = v / 2
+
+let tag_of v = v land 1
+
+let pp ppf v =
+  if is_bottom v then Format.fprintf ppf "<bot>"
+  else Format.fprintf ppf "<%d,%d>" (id_of v) (tag_of v)

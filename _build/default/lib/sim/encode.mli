@@ -1,0 +1,31 @@
+(** Packing of the paper's structured cell values into plain integers.
+
+    Simulated shared-memory cells hold a single [int]. Two of the paper's
+    shared objects need richer values:
+
+    - the unknown-leader barrier's CAS object [C] holds either [⊥] or an
+      ordered pair [⟨id, tag⟩] of a process ID and a binary tag (Fig. 2);
+    - Transformation 2's [inCSpid] register holds [⊥], a process ID [i], or
+      its negation [-i] (Fig. 4).
+
+    Pairs are packed as [2*id + tag] with [id >= 1], so they can never
+    collide with [bottom = 0]. Signed IDs are stored directly, with [0]
+    denoting [⊥]. *)
+
+val bottom : int
+(** The packed representation of [⊥] (also used for "no process"). *)
+
+val is_bottom : int -> bool
+
+val pair : id:int -> tag:int -> int
+(** [pair ~id ~tag] packs [⟨id, tag⟩]. Requires [id >= 1] and
+    [tag] in [{0, 1}]. *)
+
+val id_of : int -> int
+(** Process ID component of a packed pair. [id_of bottom = 0]. *)
+
+val tag_of : int -> int
+(** Tag component of a packed pair. *)
+
+val pp : Format.formatter -> int -> unit
+(** Pretty-print a packed pair value (for traces and debugging). *)

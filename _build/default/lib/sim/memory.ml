@@ -1,0 +1,163 @@
+type model = Cc | Dsm
+
+let pp_model ppf = function
+  | Cc -> Format.pp_print_string ppf "CC"
+  | Dsm -> Format.pp_print_string ppf "DSM"
+
+let model_of_string s =
+  match String.lowercase_ascii s with
+  | "cc" -> Cc
+  | "dsm" -> Dsm
+  | s -> invalid_arg ("Memory.model_of_string: " ^ s)
+
+(* [readers] is a bitset over process IDs (bit [pid - 1] of word
+   [(pid - 1) / 62]); it tracks which processes hold a valid cached copy
+   under the CC model's in-cache-read rule. *)
+type cell = {
+  name : string;
+  home : int;
+  mutable value : int;
+  readers : int array;
+}
+
+type t = {
+  model : model;
+  n : int;
+  words : int;
+  rmr_count : int array; (* 1-based; index 0 unused *)
+  step_count : int array;
+  mutable tracer : tracer option;
+}
+
+and tracer = pid:int -> op -> result:int -> rmr:bool -> unit
+
+and op =
+  | Read of cell
+  | Write of cell * int
+  | Cas of cell * int * int
+  | Fas of cell * int
+  | Faa of cell * int
+  | Fasas of cell * int * cell
+
+let bits_per_word = 62
+
+let create ~model ~n =
+  if n < 1 then invalid_arg "Memory.create: n must be >= 1";
+  {
+    model;
+    n;
+    words = ((n - 1) / bits_per_word) + 1;
+    rmr_count = Array.make (n + 1) 0;
+    step_count = Array.make (n + 1) 0;
+    tracer = None;
+  }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let model t = t.model
+let n t = t.n
+
+let cell t ~name ~home init =
+  if home < 1 || home > t.n then invalid_arg "Memory.cell: bad home";
+  { name; home; value = init; readers = Array.make t.words 0 }
+
+let global t ~name init = cell t ~name ~home:1 init
+
+let name c = c.name
+let home c = c.home
+let peek c = c.value
+
+let clear_readers c =
+  Array.fill c.readers 0 (Array.length c.readers) 0
+
+let poke c v =
+  c.value <- v;
+  clear_readers c
+
+let op_name = function
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Cas _ -> "cas"
+  | Fas _ -> "fas"
+  | Faa _ -> "faa"
+  | Fasas _ -> "fasas"
+
+let op_cell = function
+  | Read c
+  | Write (c, _)
+  | Cas (c, _, _)
+  | Fas (c, _)
+  | Faa (c, _)
+  | Fasas (c, _, _) ->
+    c
+
+let reader_mem c pid =
+  let bit = pid - 1 in
+  c.readers.(bit / bits_per_word) land (1 lsl (bit mod bits_per_word)) <> 0
+
+let reader_add c pid =
+  let bit = pid - 1 in
+  let w = bit / bits_per_word in
+  c.readers.(w) <- c.readers.(w) lor (1 lsl (bit mod bits_per_word))
+
+(* Charging rule for one operation, per Section 2 of the paper. *)
+let charge t ~pid ~(is_read : bool) c =
+  match t.model with
+  | Dsm -> c.home <> pid
+  | Cc ->
+    if is_read then begin
+      let cached = reader_mem c pid in
+      reader_add c pid;
+      not cached
+    end
+    else begin
+      clear_readers c;
+      true
+    end
+
+let apply t ~pid op =
+  if pid < 1 || pid > t.n then invalid_arg "Memory.apply: bad pid";
+  let result, is_read =
+    match op with
+    | Read c -> (c.value, true)
+    | Write (c, v) ->
+      c.value <- v;
+      (v, false)
+    | Cas (c, expect, repl) ->
+      let old = c.value in
+      if old = expect then c.value <- repl;
+      (old, false)
+    | Fas (c, v) ->
+      let old = c.value in
+      c.value <- v;
+      (old, false)
+    | Faa (c, d) ->
+      let old = c.value in
+      c.value <- old + d;
+      (old, false)
+    | Fasas (c, v, dst) ->
+      let old = c.value in
+      c.value <- v;
+      dst.value <- old;
+      (old, false)
+  in
+  let rmr = charge t ~pid ~is_read (op_cell op) in
+  (* FASAS touches a second word: charge its store too. *)
+  let rmr =
+    match op with
+    | Fasas (_, _, dst) ->
+      let rmr2 = charge t ~pid ~is_read:false dst in
+      rmr || rmr2
+    | Read _ | Write _ | Cas _ | Fas _ | Faa _ -> rmr
+  in
+  t.step_count.(pid) <- t.step_count.(pid) + 1;
+  if rmr then t.rmr_count.(pid) <- t.rmr_count.(pid) + 1;
+  (match t.tracer with
+  | Some trace -> trace ~pid op ~result ~rmr
+  | None -> ());
+  (result, rmr)
+
+let rmrs t ~pid = t.rmr_count.(pid)
+let steps t ~pid = t.step_count.(pid)
+
+let total_rmrs t = Array.fold_left ( + ) 0 t.rmr_count

@@ -1,0 +1,98 @@
+(** Simulated shared memory with remote-memory-reference (RMR) accounting.
+
+    Implements the two cost models from Section 2 of the paper:
+
+    - {b CC (cache-coherent)}: every shared-memory operation is an RMR
+      {e except} an in-cache read — a read by process [p] of a variable [v]
+      that [p] has already read in an earlier step, where no process has
+      accessed [v] except by a read operation since that earlier step. Note
+      the definition is deliberately conservative: a write by [p] itself
+      also invalidates [p]'s own cached copy.
+    - {b DSM (distributed shared memory)}: every shared variable is local to
+      exactly one process, fixed at initialization; an operation is an RMR
+      iff the accessing process is not the variable's home process.
+
+    Cells hold plain [int] values; see {!Encode} for packing structured
+    values. All read-modify-write primitives return the {e old} value, the
+    convention the paper's pseudo-code uses (e.g. Fig. 1 line 10 compares
+    the result of CAS against [epoch]). *)
+
+type model = Cc | Dsm
+
+val pp_model : Format.formatter -> model -> unit
+val model_of_string : string -> model
+
+type cell
+(** A shared-memory cell (a register or a single-word RMW object). *)
+
+type t
+(** A shared-memory instance: a set of cells plus per-process RMR and step
+    counters. *)
+
+val create : model:model -> n:int -> t
+(** [create ~model ~n] makes an empty memory for processes [1..n]. *)
+
+val model : t -> model
+val n : t -> int
+
+val cell : t -> name:string -> home:int -> int -> cell
+(** [cell t ~name ~home init] allocates a cell. [home] is the DSM home
+    process in [1..n]; it is ignored by the CC cost model but must always
+    be valid (the DSM model requires every variable to be local to exactly
+    one process). *)
+
+val global : t -> name:string -> int -> cell
+(** [global t ~name init] is [cell t ~name ~home:1 init]: a variable with no
+    natural owner, statically homed at process 1 as the DSM model requires. *)
+
+val name : cell -> string
+val home : cell -> int
+
+val peek : cell -> int
+(** [peek c] reads a cell's value {e without} counting a step or an RMR.
+    For monitors, property checkers and tests only — never for simulated
+    algorithm code. *)
+
+val poke : cell -> int -> unit
+(** [poke c v] sets a cell's value without accounting, invalidating all
+    cached copies. For test setup only. *)
+
+(** One shared-memory operation. RMW operations return the old value. *)
+type op =
+  | Read of cell
+  | Write of cell * int
+  | Cas of cell * int * int  (** [Cas (c, expect, repl)] *)
+  | Fas of cell * int  (** fetch-and-store (swap) *)
+  | Faa of cell * int  (** fetch-and-add *)
+  | Fasas of cell * int * cell
+      (** [Fasas (c, v, dst)]: fetch-and-store-and-store, the specialized
+          {e double-word} primitive of Ramaraju 2015 / Golab & Hendler
+          2017 — atomically [old := c; c := v; dst := old], returning
+          [old]. Not used by this paper's algorithms (their point is to
+          avoid it); provided so the comparison class — O(1)-RMR RME under
+          {e independent} failures — can be reproduced ({!Rme.Fasas_clh},
+          experiment E11). Charged as one step that performs non-read
+          accesses to both cells. *)
+
+val op_name : op -> string
+val op_cell : op -> cell
+
+val apply : t -> pid:int -> op -> int * bool
+(** [apply t ~pid op] executes [op] on behalf of process [pid], updates the
+    step and RMR counters, and returns [(result, was_rmr)]. A failed CAS
+    still counts as a non-read access (it traverses the interconnect and
+    invalidates cached copies). *)
+
+type tracer = pid:int -> op -> result:int -> rmr:bool -> unit
+
+val set_tracer : t -> tracer option -> unit
+(** Install (or remove) a callback invoked after every operation — used by
+    {!Trace}. At most one tracer is active per memory. *)
+
+val rmrs : t -> pid:int -> int
+(** Total RMRs charged to [pid] so far. *)
+
+val steps : t -> pid:int -> int
+(** Total shared-memory operations executed by [pid] so far. *)
+
+val total_rmrs : t -> int

@@ -1,0 +1,24 @@
+exception Crashed
+
+type _ Effect.t +=
+  | Mem : Memory.op -> int Effect.t
+  | Await_one : Memory.cell * (int -> bool) -> int Effect.t
+  | Await_two : Memory.cell * Memory.cell * (int -> int -> bool) -> (int * int) Effect.t
+
+let read c = Effect.perform (Mem (Memory.Read c))
+
+let write c v = ignore (Effect.perform (Mem (Memory.Write (c, v))))
+
+let cas c ~expect ~repl = Effect.perform (Mem (Memory.Cas (c, expect, repl)))
+
+let cas_success c ~expect ~repl = cas c ~expect ~repl = expect
+
+let fas c v = Effect.perform (Mem (Memory.Fas (c, v)))
+
+let faa c v = Effect.perform (Mem (Memory.Faa (c, v)))
+
+let fasas c v ~save = Effect.perform (Mem (Memory.Fasas (c, v, save)))
+
+let await c ~until = Effect.perform (Await_one (c, until))
+
+let await2 c1 c2 ~until = Effect.perform (Await_two (c1, c2, until))

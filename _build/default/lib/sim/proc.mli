@@ -1,0 +1,57 @@
+(** The shared-memory API visible to simulated algorithm code.
+
+    Every function here performs an OCaml effect that suspends the calling
+    fiber; the {!Runtime} scheduler executes the operation as one atomic
+    step and resumes the fiber with the result. A simulated process thus
+    pauses exactly at shared-memory operations — one "ordinary step" of the
+    paper's model is one operation plus the bounded local computation that
+    follows it. *)
+
+exception Crashed
+(** Raised inside a fiber when a system-wide crash step destroys it.
+    Algorithm code must never catch it. *)
+
+type _ Effect.t +=
+  | Mem : Memory.op -> int Effect.t
+  | Await_one : Memory.cell * (int -> bool) -> int Effect.t
+  | Await_two :
+      Memory.cell * Memory.cell * (int -> int -> bool)
+      -> (int * int) Effect.t
+
+val read : Memory.cell -> int
+
+val write : Memory.cell -> int -> unit
+
+val cas : Memory.cell -> expect:int -> repl:int -> int
+(** Compare-and-swap returning the {e old} value, per the paper's
+    convention. The swap happened iff the result equals [expect]. *)
+
+val cas_success : Memory.cell -> expect:int -> repl:int -> bool
+(** [cas_success] is [cas] with the usual boolean success convention. *)
+
+val fas : Memory.cell -> int -> int
+(** Fetch-and-store (atomic swap); returns the old value. *)
+
+val faa : Memory.cell -> int -> int
+(** Fetch-and-add; returns the old value. *)
+
+val fasas : Memory.cell -> int -> save:Memory.cell -> int
+(** Fetch-and-store-and-store (see {!Memory.op}): atomically swaps the
+    first cell and persists the fetched value into [save]. The double-word
+    primitive of the comparison class only. *)
+
+val await : Memory.cell -> until:(int -> bool) -> int
+(** [await c ~until] busy-waits on [c]: each scheduled step of the waiting
+    process re-reads [c] (a normal read, charged by the cost model) and the
+    process resumes when [until] holds of the value read. Under the CC
+    model only the first read and reads after an invalidation are RMRs;
+    under the DSM model spinning is free iff [c] is local — exactly the
+    local-spin economics the paper's algorithms exploit. Declaring the spin
+    to the runtime (rather than looping over {!read}) also lets schedulers
+    and the model checker see that the process is spin-blocked. *)
+
+val await2 : Memory.cell -> Memory.cell -> until:(int -> int -> bool) -> int * int
+(** [await2 c1 c2 ~until] busy-waits on a condition over two cells (e.g.
+    Peterson's [flag]/[turn] spin). Each re-check reads both cells — two
+    memory operations charged individually, executed at one scheduling
+    point. *)

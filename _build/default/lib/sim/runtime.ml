@@ -1,0 +1,180 @@
+type status =
+  | Returned
+  | Sus_op of Memory.op * (int, status) Effect.Deep.continuation
+  | Sus_await of
+      Memory.cell * (int -> bool) * (int, status) Effect.Deep.continuation
+  | Sus_await2 of
+      Memory.cell
+      * Memory.cell
+      * (int -> int -> bool)
+      * (int * int, status) Effect.Deep.continuation
+
+type slot =
+  | Fresh  (** in the NCS; body not started in the current epoch *)
+  | Waiting of status  (** suspended at a shared-memory operation *)
+  | Finished  (** body returned; stays done until the next crash *)
+
+type t = {
+  mem : Memory.t;
+  n : int;
+  body : pid:int -> epoch:int -> unit;
+  slots : slot array; (* 1-based; index 0 unused *)
+  mutable epoch : int;
+  mutable clock : int;
+  mutable crashes : int;
+  mutable crash_hooks : (epoch:int -> unit) list;
+}
+
+let handler : (unit, status) Effect.Deep.handler =
+  {
+    retc = (fun () -> Returned);
+    exnc =
+      (fun e ->
+        match e with
+        | Proc.Crashed -> Returned
+        | e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Proc.Mem op ->
+          Some
+            (fun (k : (a, status) Effect.Deep.continuation) -> Sus_op (op, k))
+        | Proc.Await_one (c, pred) ->
+          Some (fun (k : (a, status) Effect.Deep.continuation) ->
+              Sus_await (c, pred, k))
+        | Proc.Await_two (c1, c2, pred) ->
+          Some (fun (k : (a, status) Effect.Deep.continuation) ->
+              Sus_await2 (c1, c2, pred, k))
+        | _ -> None);
+  }
+
+let create ?(initial_epoch = 1) mem ~body =
+  {
+    mem;
+    n = Memory.n mem;
+    body;
+    slots = Array.make (Memory.n mem + 1) Fresh;
+    epoch = initial_epoch;
+    clock = 0;
+    crashes = 0;
+    crash_hooks = [];
+  }
+
+let memory t = t.mem
+let n t = t.n
+let epoch t = t.epoch
+let clock t = t.clock
+let crashes t = t.crashes
+
+let runnable t pid =
+  pid >= 1 && pid <= t.n
+  &&
+  match t.slots.(pid) with
+  | Fresh | Waiting _ -> true
+  | Finished -> false
+
+(* A process is spin-blocked if its pending operation is an await whose
+   condition does not currently hold: stepping it re-reads the cell(s) but
+   cannot change any value, so it is unproductive until someone writes. *)
+let blocked t pid =
+  match t.slots.(pid) with
+  | Fresh | Finished -> false
+  | Waiting st -> (
+    match st with
+    | Returned | Sus_op _ -> false
+    | Sus_await (c, pred, _) -> not (pred (Memory.peek c))
+    | Sus_await2 (c1, c2, pred, _) ->
+      not (pred (Memory.peek c1) (Memory.peek c2)))
+
+let blocked_on t pid =
+  match t.slots.(pid) with
+  | Fresh | Finished -> None
+  | Waiting st -> (
+    match st with
+    | Returned | Sus_op _ -> None
+    | Sus_await (c, pred, _) ->
+      if pred (Memory.peek c) then None else Some (Memory.name c)
+    | Sus_await2 (c1, c2, pred, _) ->
+      if pred (Memory.peek c1) (Memory.peek c2) then None
+      else Some (Memory.name c1 ^ "+" ^ Memory.name c2))
+
+let enabled t =
+  let rec collect pid acc =
+    if pid < 1 then acc
+    else collect (pid - 1) (if runnable t pid then pid :: acc else acc)
+  in
+  collect t.n []
+
+let all_done t = enabled t = []
+
+let start t pid =
+  let epoch = t.epoch in
+  Effect.Deep.match_with (fun () -> t.body ~pid ~epoch) () handler
+
+(* Executes one suspended operation, resuming the fiber when possible.
+   Returns the fiber's next state. An await whose condition fails keeps the
+   same continuation: the read was charged, the process stays put. *)
+let advance t ~pid st =
+  match st with
+  | Returned -> Returned
+  | Sus_op (op, k) ->
+    let v, _rmr = Memory.apply t.mem ~pid op in
+    Effect.Deep.continue k v
+  | Sus_await (c, pred, k) ->
+    let v, _rmr = Memory.apply t.mem ~pid (Memory.Read c) in
+    if pred v then Effect.Deep.continue k v else st
+  | Sus_await2 (c1, c2, pred, k) ->
+    let v1, _ = Memory.apply t.mem ~pid (Memory.Read c1) in
+    let v2, _ = Memory.apply t.mem ~pid (Memory.Read c2) in
+    if pred v1 v2 then Effect.Deep.continue k (v1, v2) else st
+
+let settle t pid = function
+  | Returned -> t.slots.(pid) <- Finished
+  | st -> t.slots.(pid) <- Waiting st
+
+let step t pid =
+  t.clock <- t.clock + 1;
+  match t.slots.(pid) with
+  | Finished -> invalid_arg "Runtime.step: process is not runnable"
+  | Fresh -> (
+    match start t pid with
+    | Returned -> t.slots.(pid) <- Finished
+    | st -> settle t pid (advance t ~pid st))
+  | Waiting st -> settle t pid (advance t ~pid st)
+
+let discontinue_status st =
+  let kill : type a. (a, status) Effect.Deep.continuation -> unit =
+   fun k ->
+    match Effect.Deep.discontinue k Proc.Crashed with
+    | Returned -> ()
+    | Sus_op _ | Sus_await _ | Sus_await2 _ ->
+      failwith "Runtime.crash: a fiber caught the Crashed exception"
+  in
+  match st with
+  | Returned -> ()
+  | Sus_op (_, k) -> kill k
+  | Sus_await (_, _, k) -> kill k
+  | Sus_await2 (_, _, _, k) -> kill k
+
+let crash_one t pid =
+  if pid < 1 || pid > t.n then invalid_arg "Runtime.crash_one: bad pid";
+  t.clock <- t.clock + 1;
+  (match t.slots.(pid) with
+  | Waiting st -> discontinue_status st
+  | Fresh | Finished -> ());
+  t.slots.(pid) <- Fresh
+
+let crash t ?(bump = 1) () =
+  if bump < 1 then invalid_arg "Runtime.crash: bump must be >= 1";
+  t.clock <- t.clock + 1;
+  t.crashes <- t.crashes + 1;
+  for pid = 1 to t.n do
+    (match t.slots.(pid) with
+    | Waiting st -> discontinue_status st
+    | Fresh | Finished -> ());
+    t.slots.(pid) <- Fresh
+  done;
+  t.epoch <- t.epoch + bump;
+  List.iter (fun hook -> hook ~epoch:t.epoch) t.crash_hooks
+
+let on_crash t hook = t.crash_hooks <- hook :: t.crash_hooks

@@ -1,0 +1,86 @@
+(** The simulation runtime: N process fibers over one shared memory.
+
+    Each process is an effects fiber running [body ~pid ~epoch]. The runtime
+    advances one process at a time ({!step} executes exactly one
+    shared-memory operation) and implements the paper's {e crash step}
+    ({!crash}): all fibers are destroyed, shared memory survives, and every
+    process restarts at the top of [body] — i.e. in the NCS — with a larger
+    epoch number. Private state is lost by construction because the fiber's
+    closure restarts from scratch.
+
+    The epoch number models the environment-supplied failure information of
+    Section 2: it increases monotonically after each crash (strictly, though
+    not necessarily by 1), and all passages between two crashes observe the
+    same value. *)
+
+type t
+
+val create :
+  ?initial_epoch:int ->
+  Memory.t ->
+  body:(pid:int -> epoch:int -> unit) ->
+  t
+(** [create mem ~body] sets up fibers for processes [1..Memory.n mem], all
+    initially in the NCS (not yet started). [initial_epoch] defaults to [1],
+    so the first passage of each process exercises the first-boot recovery
+    path (shared cells are initialized to epoch-0 values). *)
+
+val memory : t -> Memory.t
+val n : t -> int
+
+val epoch : t -> int
+(** The current epoch number. *)
+
+val clock : t -> int
+(** Total steps taken so far (ordinary steps + crash steps). *)
+
+val crashes : t -> int
+
+val runnable : t -> int -> bool
+(** [runnable t pid] is true iff [pid] has not returned from [body] in the
+    current epoch. *)
+
+val blocked : t -> int -> bool
+(** [blocked t pid] is true iff [pid] is suspended at a {!Proc.await} (or
+    {!Proc.await2}) whose condition does not hold for the current memory
+    contents. Stepping a blocked process re-reads the cell (charging a step
+    and possibly an RMR, as spinning does) but cannot change any shared
+    value, so schedulers and the model checker may skip blocked processes
+    without losing reachable states. *)
+
+val blocked_on : t -> int -> string option
+(** Name(s) of the cell(s) a blocked process is spinning on, for deadlock
+    diagnostics. *)
+
+val enabled : t -> int list
+(** Process IDs that can take a step, in increasing order. *)
+
+val all_done : t -> bool
+
+val step : t -> int -> unit
+(** [step t pid] runs [pid] for one ordinary step: execute its pending
+    shared-memory operation (starting the body first if needed) and let it
+    run to its next operation or to completion.
+    @raise Invalid_argument if [pid] is not runnable. *)
+
+val crash : t -> ?bump:int -> unit -> unit
+(** [crash t ()] performs a system-wide crash step. [bump] (default 1, must
+    be >= 1) is how much the epoch number advances — the model only
+    guarantees monotonicity, so schedules may skip epochs. *)
+
+val crash_one : t -> int -> unit
+(** [crash_one t pid] crashes a {e single} process: its fiber is destroyed
+    and it restarts at the NCS with its private state lost, but the epoch
+    number does {e not} change and no other process is affected. This is
+    the {e independent-failure} model of Golab & Ramaraju 2016 — strictly
+    harder than the paper's system-wide model, and NOT the model this
+    paper's algorithms are designed for. It exists to demonstrate the
+    separation (experiment E11): Transformation 1's recovery never fires
+    (the epoch is unchanged, so [C = epoch] still holds) and the restarted
+    process re-enters a base lock whose queue may still reference its dead
+    enlistment. No crash hooks run. *)
+
+val on_crash : t -> (epoch:int -> unit) -> unit
+(** Register a callback invoked during each crash step, after the fibers
+    are destroyed and the epoch advanced. Monitors use this to reset
+    volatile bookkeeping. *)

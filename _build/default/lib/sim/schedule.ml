@@ -1,0 +1,94 @@
+type decision = Step of int | Crash | Crash_one of int
+
+type t = clock:int -> enabled:int list -> decision option
+
+let round_robin () : t =
+  let last = ref 0 in
+  fun ~clock:_ ~enabled ->
+    match enabled with
+    | [] -> None
+    | pids ->
+      let next =
+        match List.find_opt (fun pid -> pid > !last) pids with
+        | Some pid -> pid
+        | None -> List.hd pids
+      in
+      last := next;
+      Some (Step next)
+
+let uniform ~seed : t =
+  let rng = Random.State.make [| seed |] in
+  fun ~clock:_ ~enabled ->
+    match enabled with
+    | [] -> None
+    | pids -> Some (Step (List.nth pids (Random.State.int rng (List.length pids))))
+
+let geometric_bias ~seed p : t =
+  if not (p > 0. && p <= 1.) then
+    invalid_arg "Schedule.geometric_bias: p must be in (0, 1]";
+  let rng = Random.State.make [| seed |] in
+  fun ~clock:_ ~enabled ->
+    match enabled with
+    | [] -> None
+    | pids ->
+      let rec pick = function
+        | [ pid ] -> pid
+        | pid :: rest ->
+          if Random.State.float rng 1.0 < p then pid else pick rest
+        | [] -> assert false
+      in
+      Some (Step (pick pids))
+
+let of_list decisions : t =
+  let remaining = ref decisions in
+  fun ~clock:_ ~enabled ->
+    let rec next () =
+      match !remaining with
+      | [] -> None
+      | d :: rest -> (
+        remaining := rest;
+        match d with
+        | Crash -> Some Crash
+        | Crash_one pid -> Some (Crash_one pid)
+        | Step pid -> if List.mem pid enabled then Some (Step pid) else next ())
+    in
+    next ()
+
+let with_crashes ~every inner : t =
+  if every < 1 then invalid_arg "Schedule.with_crashes: every must be >= 1";
+  let ticks = ref 0 in
+  fun ~clock ~enabled ->
+    incr ticks;
+    if !ticks mod (every + 1) = 0 then Some Crash
+    else inner ~clock ~enabled
+
+let with_random_crashes ~seed ~mean ?(bursty = false) inner : t =
+  if mean < 1 then invalid_arg "Schedule.with_random_crashes: mean must be >= 1";
+  let rng = Random.State.make [| seed; 0x5afe |] in
+  let burst = ref false in
+  fun ~clock ~enabled ->
+    let crash_now =
+      if !burst then begin
+        burst := false;
+        true
+      end
+      else Random.State.int rng mean = 0
+    in
+    if crash_now then begin
+      if bursty && Random.State.bool rng then burst := true;
+      Some Crash
+    end
+    else inner ~clock ~enabled
+
+let with_individual_crashes ~seed ~mean ~n inner : t =
+  if mean < 1 then
+    invalid_arg "Schedule.with_individual_crashes: mean must be >= 1";
+  let rng = Random.State.make [| seed; 0x1d1e |] in
+  fun ~clock ~enabled ->
+    if Random.State.int rng mean = 0 then
+      Some (Crash_one (1 + Random.State.int rng n))
+    else inner ~clock ~enabled
+
+let stop_after budget inner : t =
+  fun ~clock ~enabled ->
+    if clock >= budget then None else inner ~clock ~enabled

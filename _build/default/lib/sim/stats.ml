@@ -1,0 +1,33 @@
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable max_v : float;
+  mutable min_v : float;
+}
+
+let create () = { count = 0; sum = 0.; max_v = neg_infinity; min_v = infinity }
+
+let add t x =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if x > t.max_v then t.max_v <- x;
+  if x < t.min_v then t.min_v <- x
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.count
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let max t = t.max_v
+let min t = t.min_v
+let max_int t = if t.count = 0 then 0 else int_of_float t.max_v
+
+let merge a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    max_v = Float.max a.max_v b.max_v;
+    min_v = Float.min a.min_v b.min_v;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.2f max=%.0f" (count t) (mean t) (max t)

@@ -1,0 +1,22 @@
+(** Small online summary statistics (count / mean / max / min). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max_int : t -> int
+(** Max rounded to int; 0 when empty. *)
+
+val merge : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type event =
+  | Op of {
+      seq : int;
+      pid : int;
+      op : string;
+      cell : string;
+      value : int;
+      rmr : bool;
+    }
+  | Crash of { seq : int; epoch : int }
+  | Crash_one of { seq : int; pid : int }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable total : int;
+}
+
+let create ?(capacity = 10_000) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { capacity; ring = Array.make capacity None; total = 0 }
+
+let push t ev =
+  t.ring.(t.total mod t.capacity) <- Some ev;
+  t.total <- t.total + 1
+
+let attach t mem =
+  Memory.set_tracer mem
+    (Some
+       (fun ~pid op ~result ~rmr ->
+         push t
+           (Op
+              {
+                seq = t.total;
+                pid;
+                op = Memory.op_name op;
+                cell = Memory.name (Memory.op_cell op);
+                value = result;
+                rmr;
+              })))
+
+let record_crash t ~epoch = push t (Crash { seq = t.total; epoch })
+let record_crash_one t ~pid = push t (Crash_one { seq = t.total; pid })
+
+let length t = min t.total t.capacity
+let total t = t.total
+
+let events t =
+  let len = length t in
+  let first = t.total - len in
+  List.init len (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let pp_event ppf = function
+  | Op { seq; pid; op; cell; value; rmr } ->
+    Format.fprintf ppf "%6d  p%-3d %-5s %-24s = %-6d%s" seq pid op cell value
+      (if rmr then "  [rmr]" else "")
+  | Crash { seq; epoch } ->
+    Format.fprintf ppf "%6d  *** system-wide crash -> epoch %d ***" seq epoch
+  | Crash_one { seq; pid } ->
+    Format.fprintf ppf "%6d  *** independent crash of p%d ***" seq pid
+
+let dump ?last ppf t =
+  let evs = events t in
+  let evs =
+    match last with
+    | None -> evs
+    | Some k ->
+      let len = List.length evs in
+      List.filteri (fun i _ -> i >= len - k) evs
+  in
+  List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) evs

@@ -1,0 +1,49 @@
+(** Execution tracing: an optional bounded event log for debugging
+    schedules and inspecting algorithm behaviour step by step.
+
+    Attach a trace to a memory with {!attach} before running; every
+    shared-memory operation is recorded (who, what, which cell, the
+    result, whether it was charged as an RMR), and the runtime records
+    crash steps via {!record_crash}. The log is a ring buffer: only the
+    most recent [capacity] events are kept, so tracing long runs is safe.
+
+    Events are plain data — render them with {!pp_event} / {!dump}, or
+    fold over them for custom analyses. *)
+
+type event =
+  | Op of {
+      seq : int;  (** global event number *)
+      pid : int;
+      op : string;  (** operation name, e.g. "cas" *)
+      cell : string;
+      value : int;  (** the operation's result *)
+      rmr : bool;
+    }
+  | Crash of { seq : int; epoch : int }  (** system-wide; [epoch] is new *)
+  | Crash_one of { seq : int; pid : int }  (** independent failure *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 10_000 events. *)
+
+val attach : t -> Memory.t -> unit
+(** Start recording [mem]'s operations into the trace (replacing any
+    previously attached trace on that memory). *)
+
+val record_crash : t -> epoch:int -> unit
+val record_crash_one : t -> pid:int -> unit
+
+val length : t -> int
+(** Events currently retained (≤ capacity). *)
+
+val total : t -> int
+(** Events ever recorded (≥ {!length}). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val dump : ?last:int -> Format.formatter -> t -> unit
+(** Print the [last] retained events (default: all retained). *)

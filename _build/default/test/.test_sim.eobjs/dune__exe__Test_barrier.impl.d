@@ -1,0 +1,1 @@
+test/test_barrier.ml: Alcotest Array Harness List Memory Printf Rme Runtime Schedule Sim Testutil

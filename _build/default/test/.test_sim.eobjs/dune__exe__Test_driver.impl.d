@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Harness Memory Rme Schedule Sim Stats String Testutil

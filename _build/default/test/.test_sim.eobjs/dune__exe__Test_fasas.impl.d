@@ -1,0 +1,1 @@
+test/test_fasas.ml: Alcotest Harness List Memory Printf Rme Schedule Sim Stats Testutil

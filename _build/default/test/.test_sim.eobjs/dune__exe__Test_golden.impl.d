@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest List Memory Rme Runtime Schedule Sim Trace

@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array Harness List Locks Memory Printf Rme Schedule Sim Stats Testutil

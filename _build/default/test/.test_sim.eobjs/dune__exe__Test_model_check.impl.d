@@ -1,0 +1,1 @@
+test/test_model_check.ml: Alcotest Harness List Memory Proc Rme Sim String Testutil

@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array Atomic Domain List Rme_native Testutil Unix

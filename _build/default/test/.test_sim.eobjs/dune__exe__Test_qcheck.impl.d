@@ -1,0 +1,1 @@
+test/test_qcheck.ml: Alcotest Array Encode Harness List Locks Memory QCheck2 QCheck_alcotest Rme Schedule Sim Stats Testutil

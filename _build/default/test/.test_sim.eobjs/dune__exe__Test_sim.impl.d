@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Encode Format Hashtbl List Memory Proc Runtime Schedule Sim Stats String Trace

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Array Harness List Memory Printf Proc Random Rme Runtime Schedule Sim Stats String Testutil

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Harness Memory Rme Schedule Sim

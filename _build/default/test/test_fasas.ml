@@ -1,0 +1,219 @@
+(* Tests for the comparison-class lock: the FASAS-based recoverable CLH
+   (Rme.Fasas_clh), which — unlike the paper's algorithms — survives
+   independent process failures, at the cost of a double-word RMW
+   primitive. Also covers the FASAS memory primitive itself. *)
+
+open Sim
+open Testutil
+
+(* --- the primitive --- *)
+
+let fasas_semantics () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"c" 7 in
+  let save = Memory.cell mem ~name:"save" ~home:2 (-1) in
+  let old, rmr = Memory.apply mem ~pid:2 (Memory.Fasas (c, 42, save)) in
+  Alcotest.(check int) "returns old" 7 old;
+  Alcotest.(check int) "swapped" 42 (Memory.peek c);
+  Alcotest.(check int) "persisted atomically" 7 (Memory.peek save);
+  Alcotest.(check bool) "charged" true rmr
+
+let fasas_invalidates_both () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"c" 0 in
+  let save = Memory.global mem ~name:"save" 0 in
+  ignore (Memory.apply mem ~pid:1 (Memory.Read c));
+  ignore (Memory.apply mem ~pid:1 (Memory.Read save));
+  ignore (Memory.apply mem ~pid:2 (Memory.Fasas (c, 1, save)));
+  let _, r1 = Memory.apply mem ~pid:1 (Memory.Read c) in
+  let _, r2 = Memory.apply mem ~pid:1 (Memory.Read save) in
+  Alcotest.(check bool) "main invalidated" true r1;
+  Alcotest.(check bool) "save invalidated" true r2
+
+let fasas_dsm_charges_remote_save () =
+  let mem = Memory.create ~model:Memory.Dsm ~n:2 in
+  let c = Memory.cell mem ~name:"c" ~home:1 0 in
+  let save = Memory.cell mem ~name:"save" ~home:1 0 in
+  (* Home process performing FASAS on two local cells pays nothing... *)
+  let _, r_home = Memory.apply mem ~pid:1 (Memory.Fasas (c, 1, save)) in
+  Alcotest.(check bool) "all-local fasas free in DSM" false r_home;
+  (* ...a remote one pays. *)
+  let _, r_remote = Memory.apply mem ~pid:2 (Memory.Fasas (c, 2, save)) in
+  Alcotest.(check bool) "remote fasas charged" true r_remote
+
+(* --- storms: the lock must survive what wedges the paper's stacks --- *)
+
+let survives_individual_crash_storms () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun seed ->
+          let r =
+            run_stack ~model ~n:5 ~passages:40 ~max_steps:4_000_000
+              ~schedule:
+                (Schedule.with_individual_crashes ~seed ~mean:300 ~n:5
+                   (Schedule.uniform ~seed:(seed * 7)))
+              "rclh-fasas"
+          in
+          assert_clean
+            (Printf.sprintf "rclh %s seed=%d" (model_tag model) seed)
+            r;
+          Alcotest.(check int) "CSR holds" 0 r.Harness.Driver.csr_violations)
+        [ 1; 2; 3; 4 ])
+    models
+
+let survives_system_wide_storms_too () =
+  (* Strictly stronger failure tolerance: system-wide crashes are a special
+     case it must also handle (it ignores the epoch entirely). *)
+  List.iter
+    (fun seed ->
+      let r =
+        run_stack ~model:Memory.Cc ~n:5 ~passages:40 ~max_steps:4_000_000
+          ~schedule:(storm ~seed ~mean:300 ())
+          "rclh-fasas"
+      in
+      assert_clean (Printf.sprintf "rclh system-wide seed=%d" seed) r;
+      Alcotest.(check int) "CSR holds" 0 r.Harness.Driver.csr_violations)
+    [ 1; 2; 3 ]
+
+let survives_mixed_storms () =
+  List.iter
+    (fun seed ->
+      let r =
+        run_stack ~model:Memory.Cc ~n:4 ~passages:30 ~max_steps:4_000_000
+          ~schedule:
+            (Schedule.with_individual_crashes ~seed:(seed + 50) ~mean:500 ~n:4
+               (storm ~seed ~mean:500 ()))
+          "rclh-fasas"
+      in
+      assert_clean (Printf.sprintf "rclh mixed seed=%d" seed) r)
+    [ 1; 2; 3 ]
+
+let constant_rmr_in_cc () =
+  let steady n =
+    let r =
+      run_stack ~model:Memory.Cc ~n ~passages:50 ~seed:3 "rclh-fasas"
+    in
+    assert_clean "rclh steady" r;
+    Stats.max_int r.Harness.Driver.steady_rmrs
+  in
+  let at4 = steady 4 and at32 = steady 32 in
+  if at32 > at4 + 2 || at32 > 24 then
+    Alcotest.failf "rclh CC max RMR grew: %d -> %d" at4 at32
+
+(* --- systematic model checking with independent-crash branching --- *)
+
+let mc stack ~n ?(passages = 1) ~d ~co ?(c = 0) ?(max_runs = 600_000) () =
+  Harness.Model_check.explore ~divergence_bound:d ~crash_bound:c
+    ~crash_one_bound:co ~max_runs
+    (Harness.Scenarios.rme ~passages ~n ~model:Memory.Cc
+       ~make:(fun mem -> Rme.Stack.recoverable mem stack)
+       ())
+
+let assert_clean_mc what (o : Harness.Model_check.outcome) =
+  if o.Harness.Model_check.violations <> [] then
+    Alcotest.failf "%s: %a" what Harness.Model_check.pp_outcome o;
+  if o.Harness.Model_check.truncated then
+    Alcotest.failf "%s: search truncated (raise the budget)" what
+
+let mc_exhaustive_one_crash () =
+  assert_clean_mc "n=2 d1 co1" (mc "rclh-fasas" ~n:2 ~d:1 ~co:1 ());
+  assert_clean_mc "n=3 d1 co1" (mc "rclh-fasas" ~n:3 ~d:1 ~co:1 ())
+
+let mc_exhaustive_multi_crash () =
+  assert_clean_mc "n=2 d0 co3" (mc "rclh-fasas" ~n:2 ~d:0 ~co:3 ());
+  assert_clean_mc "n=2 d1 co2" (mc "rclh-fasas" ~n:2 ~d:1 ~co:2 ());
+  assert_clean_mc "n=3 d0 co2" (mc "rclh-fasas" ~n:3 ~d:0 ~co:2 ())
+
+let mc_multi_passage () =
+  assert_clean_mc "n=2 p2 d1 co1" (mc "rclh-fasas" ~n:2 ~passages:2 ~d:1 ~co:1 ());
+  assert_clean_mc "n=2 p3 d0 co2" (mc "rclh-fasas" ~n:2 ~passages:3 ~d:0 ~co:2 ())
+
+let mc_mixed_failure_models () =
+  assert_clean_mc "n=2 d1 c1 co1" (mc "rclh-fasas" ~n:2 ~d:1 ~co:1 ~c:1 ())
+
+let mc_t1_deadlocks_under_individual_crashes () =
+  (* The counterpoint, found mechanically: the paper's stack deadlocks
+     under the failure model it was never designed for. *)
+  let o =
+    Harness.Model_check.explore ~divergence_bound:0 ~crash_one_bound:1
+      ~stop_on_first:true
+      (Harness.Scenarios.rme ~check_csr:false ~n:2 ~model:Memory.Cc
+         ~make:(fun mem -> Rme.Stack.recoverable mem "t1-mcs")
+         ())
+  in
+  Alcotest.(check bool)
+    "t1-mcs deadlocks under independent failures" true
+    (o.Harness.Model_check.deadlocks > 0)
+
+(* --- the other end of the landscape: recoverable owner-TAS --- *)
+
+let rtas_survives_everything () =
+  List.iter
+    (fun (label, schedule) ->
+      let r =
+        run_stack ~model:Memory.Cc ~n:4 ~passages:30 ~max_steps:4_000_000
+          ~schedule "rtas"
+      in
+      assert_clean ("rtas " ^ label) r;
+      Alcotest.(check int) ("rtas CSR " ^ label) 0
+        r.Harness.Driver.csr_violations)
+    [
+      ("system-wide", storm ~seed:4 ~mean:300 ());
+      ( "individual",
+        Schedule.with_individual_crashes ~seed:4 ~mean:300 ~n:4
+          (Schedule.uniform ~seed:29) );
+      ( "mixed",
+        Schedule.with_individual_crashes ~seed:9 ~mean:500 ~n:4
+          (storm ~seed:9 ~mean:500 ()) );
+    ]
+
+let rtas_model_checked () =
+  assert_clean_mc "rtas n=2 d1 co2" (mc "rtas" ~n:2 ~d:1 ~co:2 ());
+  assert_clean_mc "rtas n=3 d1 co1" (mc "rtas" ~n:3 ~d:1 ~co:1 ());
+  assert_clean_mc "rtas n=2 d1 c1 co1" (mc "rtas" ~n:2 ~d:1 ~co:1 ~c:1 ());
+  assert_clean_mc "rtas n=2 p3 d0 co2" (mc "rtas" ~n:2 ~passages:3 ~d:0 ~co:2 ())
+
+let rtas_pays_in_rmrs () =
+  (* The point of the whole literature: correct-and-recoverable is easy,
+     RMR-efficient is not. Contended owner-TAS costs grow with N. *)
+  let mean n =
+    let r = run_stack ~model:Memory.Cc ~n ~passages:40 ~seed:8 "rtas" in
+    assert_clean "rtas steady" r;
+    Sim.Stats.mean r.Harness.Driver.steady_rmrs
+  in
+  let at2 = mean 2 and at16 = mean 16 in
+  if at16 < at2 +. 3. then
+    Alcotest.failf "rtas contended RMRs should grow: %.1f -> %.1f" at2 at16
+
+let () =
+  Alcotest.run "fasas"
+    [
+      ( "primitive",
+        [
+          case "semantics" fasas_semantics;
+          case "invalidates-both" fasas_invalidates_both;
+          case "dsm-charging" fasas_dsm_charges_remote_save;
+        ] );
+      ( "storms",
+        [
+          case "individual-crashes" survives_individual_crash_storms;
+          case "system-wide" survives_system_wide_storms_too;
+          case "mixed" survives_mixed_storms;
+          case "constant-rmr-cc" constant_rmr_in_cc;
+        ] );
+      ( "model-check",
+        [
+          slow_case "one-crash-exhaustive" mc_exhaustive_one_crash;
+          slow_case "multi-crash" mc_exhaustive_multi_crash;
+          slow_case "multi-passage" mc_multi_passage;
+          slow_case "mixed-failure-models" mc_mixed_failure_models;
+          slow_case "t1-deadlocks" mc_t1_deadlocks_under_individual_crashes;
+        ] );
+      ( "rtas",
+        [
+          case "survives-everything" rtas_survives_everything;
+          slow_case "model-checked" rtas_model_checked;
+          case "pays-in-rmrs" rtas_pays_in_rmrs;
+        ] );
+    ]

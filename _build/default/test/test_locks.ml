@@ -1,0 +1,253 @@
+(* Tests for the conventional lock substrate: mutual exclusion and progress
+   for every lock in every cost model, the RMR signatures that distinguish
+   them (flat MCS, logarithmic Yang-Anderson, growing ticket/CLH), the
+   arbitration-tree geometry, and systematic model checking of the
+   trickier algorithms. *)
+
+open Sim
+open Testutil
+
+let all_locks = Rme.Stack.conventional_names
+
+let exclusion_everywhere name () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun n ->
+          let r = run_conventional ~model ~n ~passages:30 name in
+          assert_clean (Printf.sprintf "%s n=%d %s" name n (model_tag model)) r)
+        [ 1; 2; 3; 8 ])
+    models
+
+let round_robin_schedule_too () =
+  List.iter
+    (fun name ->
+      let r =
+        run_conventional ~model:Memory.Cc ~n:6
+          ~schedule:(Schedule.round_robin ()) name
+      in
+      assert_clean (name ^ " under round-robin") r)
+    all_locks
+
+let adversarial_bias_schedule () =
+  List.iter
+    (fun name ->
+      let r =
+        run_conventional ~model:Memory.Dsm ~n:5 ~passages:40
+          ~schedule:(Schedule.geometric_bias ~seed:3 0.7)
+          name
+      in
+      assert_clean (name ^ " under biased schedule") r)
+    all_locks
+
+let fifo_locks_bound_overtaking () =
+  (* Queue locks grant in arrival order: while a process waits, each rival
+     can enter at most a bounded number of times (it enqueues behind us
+     afterwards). The doorway is a couple of steps, so allow n + slack. *)
+  List.iter
+    (fun name ->
+      let n = 6 in
+      let r = run_conventional ~model:Memory.Cc ~n ~passages:50 name in
+      if r.Harness.Driver.max_overtaking > (2 * n) + 2 then
+        Alcotest.failf "%s overtaking %d exceeds FIFO bound" name
+          r.Harness.Driver.max_overtaking)
+    [ "mcs"; "ticket"; "clh"; "anderson" ]
+
+(* --- RMR signatures --- *)
+
+let steady_max name ~model ~n =
+  let r = run_conventional ~model ~n ~passages:60 ~seed:5 name in
+  assert_clean (name ^ " rmr run") r;
+  Stats.max_int r.Harness.Driver.steady_rmrs
+
+let steady_mean name ~model ~n =
+  let r = run_conventional ~model ~n ~passages:60 ~seed:5 name in
+  Stats.mean r.Harness.Driver.steady_rmrs
+
+let mcs_is_constant_rmr () =
+  List.iter
+    (fun model ->
+      let at4 = steady_max "mcs" ~model ~n:4 in
+      let at32 = steady_max "mcs" ~model ~n:32 in
+      (* Driver adds 2 CS ops; the lock itself is a small constant. *)
+      if at32 > at4 + 2 || at32 > 12 then
+        Alcotest.failf "mcs %s: max RMR grew from %d (n=4) to %d (n=32)"
+          (model_tag model) at4 at32)
+    models
+
+let clh_constant_cc_unbounded_dsm () =
+  let cc = steady_max "clh" ~model:Memory.Cc ~n:16 in
+  let dsm = steady_max "clh" ~model:Memory.Dsm ~n:16 in
+  if cc > 12 then Alcotest.failf "clh CC max RMR %d not constant" cc;
+  if dsm <= 2 * cc then
+    Alcotest.failf "clh DSM max RMR %d should dwarf CC %d (remote spinning)"
+      dsm cc
+
+let ticket_grows_in_cc () =
+  let small = steady_mean "ticket" ~model:Memory.Cc ~n:4 in
+  let large = steady_mean "ticket" ~model:Memory.Cc ~n:24 in
+  if large < small +. 2. then
+    Alcotest.failf "ticket CC mean RMR flat: %.1f (n=4) vs %.1f (n=24)" small
+      large
+
+let yang_anderson_logarithmic () =
+  (* log2 32 / log2 4 = 2.5: the mean per-passage cost should grow clearly
+     but far less than linearly. *)
+  let at4 = steady_mean "ya" ~model:Memory.Dsm ~n:4 in
+  let at32 = steady_mean "ya" ~model:Memory.Dsm ~n:32 in
+  if at32 <= at4 then Alcotest.failf "ya flat: %.1f vs %.1f" at4 at32;
+  if at32 > 8. *. at4 then
+    Alcotest.failf "ya grew superlogarithmically: %.1f vs %.1f" at4 at32
+
+let anderson_constant_cc_unbounded_dsm () =
+  let cc4 = steady_max "anderson" ~model:Memory.Cc ~n:4 in
+  let cc24 = steady_max "anderson" ~model:Memory.Cc ~n:24 in
+  if cc24 > cc4 + 2 || cc24 > 12 then
+    Alcotest.failf "anderson CC max RMR grew: %d -> %d" cc4 cc24;
+  let dsm24 = steady_mean "anderson" ~model:Memory.Dsm ~n:24 in
+  let cc_mean = steady_mean "anderson" ~model:Memory.Cc ~n:24 in
+  if dsm24 <= 2. *. cc_mean then
+    Alcotest.failf
+      "anderson DSM mean %.1f should dwarf CC %.1f (rotating slots spin \
+       remotely)"
+      dsm24 cc_mean
+
+let bakery_linear_scan () =
+  let at4 = steady_mean "bakery" ~model:Memory.Cc ~n:4 in
+  let at24 = steady_mean "bakery" ~model:Memory.Cc ~n:24 in
+  if at24 < at4 +. 10. then
+    Alcotest.failf "bakery should pay a linear scan: %.1f (n=4) vs %.1f (n=24)"
+      at4 at24
+
+let ya_spins_locally_in_dsm () =
+  (* Even with heavy contention, waiting happens on home-allocated cells:
+     per-passage RMRs stay bounded by the tree depth, independent of how
+     long the wait was. Compare against Peterson, which spins remotely. *)
+  let ya = steady_max "ya" ~model:Memory.Dsm ~n:8 in
+  let peterson = steady_max "peterson" ~model:Memory.Dsm ~n:8 in
+  if ya >= peterson then
+    Alcotest.failf "expected YA (%d) < Peterson (%d) max DSM RMRs" ya peterson
+
+(* --- Tree geometry --- *)
+
+let tree_paths () =
+  let t = Locks.Tree.make 6 in
+  Alcotest.(check int) "depth of 6 procs (8 leaves)" 3 (Locks.Tree.depth t);
+  Alcotest.(check int) "internal nodes" 7 (Locks.Tree.internal_nodes t);
+  let p1 = Locks.Tree.path t ~pid:1 in
+  Alcotest.(check int) "path length" 3 (Array.length p1);
+  (* Last element of every path is the root. *)
+  for pid = 1 to 6 do
+    let p = Locks.Tree.path t ~pid in
+    let root, _ = p.(Array.length p - 1) in
+    Alcotest.(check int) "ends at root" 1 root
+  done;
+  (* Adjacent leaves share their level-0 node with opposite sides. *)
+  let n1, s1 = (Locks.Tree.path t ~pid:1).(0) in
+  let n2, s2 = (Locks.Tree.path t ~pid:2).(0) in
+  Alcotest.(check int) "same first node" n1 n2;
+  Alcotest.(check bool) "opposite sides" true (s1 <> s2)
+
+let tree_single_process () =
+  let t = Locks.Tree.make 1 in
+  Alcotest.(check int) "no levels" 0 (Locks.Tree.depth t);
+  Alcotest.(check int) "no nodes" 0 (Locks.Tree.internal_nodes t);
+  Alcotest.(check int) "empty path" 0 (Array.length (Locks.Tree.path t ~pid:1))
+
+(* --- Model checking --- *)
+
+let model_check_lock ?(dbound = 2) ?(n = 2) name model =
+  let sc =
+    Harness.Scenarios.mutex ~passages:2 ~n ~model
+      ~make:(fun mem -> Rme.Stack.conventional mem name)
+      ()
+  in
+  let o = Harness.Model_check.explore ~divergence_bound:dbound sc in
+  if o.Harness.Model_check.violations <> [] then
+    Alcotest.failf "%s %s: %a" name (model_tag model)
+      Harness.Model_check.pp_outcome o
+
+let exhaustive_two_process () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun name -> model_check_lock ~dbound:3 name model)
+        [ "mcs"; "ttas"; "ticket"; "clh"; "anderson"; "bakery"; "peterson"; "ya" ])
+    models
+
+let exhaustive_three_process () =
+  List.iter
+    (fun name -> model_check_lock ~dbound:2 ~n:3 name Memory.Dsm)
+    [ "mcs"; "peterson"; "ya" ]
+
+let unprotected_queue_lock_wedges_after_crash () =
+  (* The motivating failure: crash a conventional MCS mid-run and the queue
+     wedges (the dead holder never hands off); Transformation 1 fixes
+     exactly this on the same schedule. *)
+  let schedule () =
+    Schedule.with_crashes ~every:200 (Schedule.uniform ~seed:4)
+  in
+  let bad =
+    run_stack ~model:Memory.Cc ~n:4 ~passages:100 ~max_steps:100_000
+      ~schedule:(schedule ()) "unprotected-mcs"
+  in
+  Alcotest.(check bool)
+    "unprotected MCS wedges" false bad.Harness.Driver.all_done;
+  let good =
+    run_stack ~model:Memory.Cc ~n:4 ~passages:100 ~max_steps:1_000_000
+      ~schedule:(schedule ()) "t1-mcs"
+  in
+  assert_clean "t1-mcs on the same schedule" good
+
+let reset_restores_locks () =
+  (* Drive each lock through crash-and-reset cycles via Transformation 1;
+     a broken reset shows up as a wedge or a safety violation. *)
+  List.iter
+    (fun model ->
+      List.iter
+        (fun name ->
+          let r =
+            run_stack ~model ~n:4 ~passages:40 ~max_steps:3_000_000
+              ~schedule:(storm ~seed:19 ~mean:300 ())
+              ("t1-" ^ name)
+          in
+          assert_clean (Printf.sprintf "t1-%s %s" name (model_tag model)) r)
+        [ "mcs"; "ticket"; "peterson" ])
+    models
+
+let () =
+  Alcotest.run "locks"
+    [
+      ( "safety",
+        List.map
+          (fun name -> case ("exclusion-" ^ name) (exclusion_everywhere name))
+          all_locks
+        @ [
+            case "round-robin" round_robin_schedule_too;
+            case "adversarial-bias" adversarial_bias_schedule;
+            case "fifo-overtaking" fifo_locks_bound_overtaking;
+          ] );
+      ( "rmr-signatures",
+        [
+          case "mcs-constant" mcs_is_constant_rmr;
+          case "clh-cc-vs-dsm" clh_constant_cc_unbounded_dsm;
+          case "ticket-grows-cc" ticket_grows_in_cc;
+          case "anderson-cc-vs-dsm" anderson_constant_cc_unbounded_dsm;
+          case "bakery-linear" bakery_linear_scan;
+          case "ya-logarithmic" yang_anderson_logarithmic;
+          case "ya-local-spin" ya_spins_locally_in_dsm;
+        ] );
+      ( "tree",
+        [ case "paths" tree_paths; case "single-process" tree_single_process ]
+      );
+      ( "model-check",
+        [
+          slow_case "two-process-exhaustive" exhaustive_two_process;
+          slow_case "three-process" exhaustive_three_process;
+        ] );
+      ( "crash-behaviour",
+        [
+          case "unprotected-wedges" unprotected_queue_lock_wedges_after_crash;
+          slow_case "reset-restores" reset_restores_locks;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+(* Tests for the model checker itself: that it finds planted safety and
+   liveness bugs, honours its budgets, and explores deterministically. *)
+
+open Sim
+open Testutil
+
+(* A "lock" that provides no exclusion at all. *)
+let broken_lock _mem : Rme.Rme_intf.rme =
+  {
+    Rme.Rme_intf.name = "broken";
+    recover = (fun ~pid:_ ~epoch:_ -> ());
+    enter = (fun ~pid:_ ~epoch:_ -> ());
+    exit = (fun ~pid:_ ~epoch:_ -> ());
+  }
+
+(* A lock whose release omits the hand-off: the second process deadlocks. *)
+let leaky_lock mem : Rme.Rme_intf.rme =
+  let flag = Memory.global mem ~name:"leak.flag" 0 in
+  {
+    Rme.Rme_intf.name = "leaky";
+    recover = (fun ~pid:_ ~epoch:_ -> ());
+    enter =
+      (fun ~pid:_ ~epoch:_ ->
+        ignore (Proc.await flag ~until:(fun v -> v = 0));
+        Proc.write flag 1);
+    exit = (fun ~pid:_ ~epoch:_ -> () (* never releases *));
+  }
+
+let finds_mutual_exclusion_bug () =
+  let sc = Harness.Scenarios.rme ~n:2 ~model:Memory.Cc ~make:broken_lock () in
+  let o = Harness.Model_check.explore ~divergence_bound:1 ~stop_on_first:true sc in
+  Alcotest.(check bool)
+    "found" true
+    (List.exists
+       (fun v ->
+         (* either the occupancy monitor or the lost-update counter trips *)
+         String.length v >= 4
+         && (String.sub v 0 4 = "mutu" || String.sub v 0 4 = "lost"))
+       o.Harness.Model_check.violations)
+
+let finds_deadlock () =
+  let sc = Harness.Scenarios.rme ~n:2 ~model:Memory.Cc ~make:leaky_lock () in
+  let o = Harness.Model_check.explore ~divergence_bound:0 ~stop_on_first:true sc in
+  Alcotest.(check bool) "deadlock" true (o.Harness.Model_check.deadlocks > 0)
+
+let zero_divergence_zero_crash_is_one_run () =
+  let sc =
+    Harness.Scenarios.rme ~n:3 ~model:Memory.Cc
+      ~make:(fun mem -> Rme.Stack.recoverable mem "t1-mcs")
+      ()
+  in
+  let o = Harness.Model_check.explore ~divergence_bound:0 ~crash_bound:0 sc in
+  Alcotest.(check int) "one run" 1 o.Harness.Model_check.runs;
+  Alcotest.(check bool) "no violations" true (o.Harness.Model_check.violations = [])
+
+let crash_bound_expands_search () =
+  let explore crash_bound =
+    let sc =
+      Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+        ~make:(fun mem -> Rme.Stack.recoverable mem "t1-mcs")
+        ()
+    in
+    (Harness.Model_check.explore ~divergence_bound:0 ~crash_bound sc)
+      .Harness.Model_check.runs
+  in
+  let r0 = explore 0 and r1 = explore 1 and r2 = explore 2 in
+  Alcotest.(check bool) "c1 > c0" true (r1 > r0);
+  Alcotest.(check bool) "c2 > c1" true (r2 > r1)
+
+let deterministic () =
+  let go () =
+    let sc =
+      Harness.Scenarios.rme ~n:2 ~model:Memory.Dsm
+        ~make:(fun mem -> Rme.Stack.recoverable mem "t2-mcs")
+        ()
+    in
+    let o = Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1 sc in
+    (o.Harness.Model_check.runs, o.Harness.Model_check.steps)
+  in
+  Alcotest.(check bool) "two identical searches" true (go () = go ())
+
+let max_runs_truncates () =
+  let sc =
+    Harness.Scenarios.rme ~passages:2 ~n:3 ~model:Memory.Dsm
+      ~make:(fun mem -> Rme.Stack.recoverable mem "t3-mcs")
+      ()
+  in
+  let o =
+    Harness.Model_check.explore ~divergence_bound:2 ~crash_bound:1 ~max_runs:50
+      sc
+  in
+  Alcotest.(check bool) "truncated" true o.Harness.Model_check.truncated;
+  Alcotest.(check int) "runs capped" 50 o.Harness.Model_check.runs
+
+let violation_messages_deduplicated () =
+  let sc = Harness.Scenarios.rme ~n:2 ~model:Memory.Cc ~make:broken_lock () in
+  let o = Harness.Model_check.explore ~divergence_bound:2 sc in
+  let sorted = List.sort_uniq compare o.Harness.Model_check.violations in
+  Alcotest.(check int)
+    "no duplicates"
+    (List.length sorted)
+    (List.length o.Harness.Model_check.violations)
+
+let () =
+  Alcotest.run "model_check"
+    [
+      ( "bug-finding",
+        [
+          case "mutual-exclusion" finds_mutual_exclusion_bug;
+          case "deadlock" finds_deadlock;
+        ] );
+      ( "budgets",
+        [
+          case "zero-bounds-one-run" zero_divergence_zero_crash_is_one_run;
+          case "crash-bound-expands" crash_bound_expands_search;
+          case "max-runs-truncates" max_runs_truncates;
+        ] );
+      ( "hygiene",
+        [
+          case "deterministic" deterministic;
+          case "dedup-messages" violation_messages_deduplicated;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+(* Tests for the native (Atomic/Domain) ports: atomic helpers, the
+   stop-the-world crash protocol, and safety of every native stack under
+   real concurrency with and without crash injection. *)
+
+open Testutil
+
+let module_n = 4 (* worker domains; oversubscription is fine *)
+
+let assert_native_clean what r =
+  (match Rme_native.Workers.check_clean r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" what e);
+  if not (Array.for_all (fun c -> c >= 0) r.Rme_native.Workers.completed) then
+    Alcotest.failf "%s: negative completion count" what
+
+(* --- Natomic --- *)
+
+let natomic_cas_old_value () =
+  let a = Atomic.make 5 in
+  Alcotest.(check int) "failed returns current" 5
+    (Rme_native.Natomic.cas a ~expect:9 ~repl:1);
+  Alcotest.(check int) "unchanged" 5 (Atomic.get a);
+  Alcotest.(check int) "success returns expect" 5
+    (Rme_native.Natomic.cas a ~expect:5 ~repl:7);
+  Alcotest.(check int) "swapped" 7 (Atomic.get a)
+
+let natomic_fas_faa () =
+  let a = Atomic.make 3 in
+  Alcotest.(check int) "fas old" 3 (Rme_native.Natomic.fas a 10);
+  Alcotest.(check int) "fas new" 10 (Atomic.get a);
+  Alcotest.(check int) "faa old" 10 (Rme_native.Natomic.faa a 5);
+  Alcotest.(check int) "faa new" 15 (Atomic.get a)
+
+let natomic_cas_contended () =
+  (* Hammer one cell from several domains; exactly one CAS per round may
+     win. *)
+  let a = Atomic.make 0 in
+  let wins = Atomic.make 0 in
+  let rounds = 1000 in
+  let worker () =
+    for r = 0 to rounds - 1 do
+      if Rme_native.Natomic.cas a ~expect:r ~repl:(r + 1) = r then
+        ignore (Atomic.fetch_and_add wins 1)
+      else
+        while Atomic.get a <= r do
+          Domain.cpu_relax ()
+        done
+    done
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "one winner per round" rounds (Atomic.get wins);
+  Alcotest.(check int) "final value" rounds (Atomic.get a)
+
+(* --- Crash protocol --- *)
+
+let crash_protocol_epochs () =
+  let crash = Rme_native.Crash.create ~n:1 in
+  let epochs_seen = ref [] in
+  let d =
+    Domain.spawn (fun () ->
+        let rounds = ref 0 in
+        Rme_native.Crash.worker_run crash ~pid:1 (fun ~epoch ->
+            epochs_seen := epoch :: !epochs_seen;
+            (* Spin until a crash bumps us out, twice; then finish. *)
+            if !rounds < 2 then begin
+              incr rounds;
+              Rme_native.Crash.spin_until crash (fun () -> false)
+            end);
+        Rme_native.Crash.worker_done crash ~pid:1)
+  in
+  Unix.sleepf 0.01;
+  Rme_native.Crash.crash crash;
+  Unix.sleepf 0.01;
+  Rme_native.Crash.crash crash;
+  Domain.join d;
+  Alcotest.(check int) "epoch advanced twice" 3 (Rme_native.Crash.epoch crash);
+  Alcotest.(check (list int)) "worker saw every epoch" [ 3; 2; 1 ]
+    !epochs_seen
+
+(* --- Barrier, driven directly --- *)
+
+let barrier_all_pass variant () =
+  (* All non-leaders arrive first and park; the leader arrives last and
+     everyone gets through — repeated across epochs with a real crash
+     between rounds. *)
+  let n = 3 in
+  let rounds = 4 in
+  let crash = Rme_native.Crash.create ~n in
+  let b = Rme_native.Barrier.create ~variant crash ~n in
+  let passed = Atomic.make 0 in
+  let worker pid () =
+    let done_upto = ref 0 in
+    Rme_native.Crash.worker_run crash ~pid (fun ~epoch ->
+        while !done_upto < rounds && !done_upto < epoch do
+          (* leader rotates per epoch *)
+          let leader = 1 + (epoch mod n) = pid in
+          if not leader then Unix.sleepf 0.0005;
+          Rme_native.Barrier.enter b ~pid ~epoch ~leader;
+          incr done_upto;
+          ignore (Atomic.fetch_and_add passed 1)
+        done;
+        (* Park until the next system-wide crash starts the next epoch. *)
+        if !done_upto < rounds then
+          Rme_native.Crash.spin_until crash (fun () -> false));
+    Rme_native.Crash.worker_done crash ~pid
+  in
+  let domains = List.init n (fun i -> Domain.spawn (worker (i + 1))) in
+  for _ = 1 to rounds do
+    Unix.sleepf 0.005;
+    Rme_native.Crash.crash crash
+  done;
+  List.iter Domain.join domains;
+  Alcotest.(check bool)
+    "every attempted round passed everyone" true
+    (Atomic.get passed >= n * (rounds - 1))
+
+(* --- Stacks, failure-free --- *)
+
+let native_stacks_failure_free () =
+  List.iter
+    (fun stack ->
+      let r =
+        Rme_native.Workers.run ~n:module_n ~passages:5_000
+          ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n stack)
+          ()
+      in
+      assert_native_clean (stack ^ " failure-free") r;
+      Alcotest.(check int)
+        (stack ^ " all passages")
+        (module_n * 5_000)
+        (Array.fold_left ( + ) 0 r.Rme_native.Workers.completed))
+    Rme_native.Stack.recoverable_names
+
+let native_conventional_failure_free () =
+  List.iter
+    (fun name ->
+      let r =
+        Rme_native.Workers.run ~n:module_n ~passages:5_000
+          ~make:(fun crash ~n ->
+            let m = Rme_native.Stack.conventional crash ~n name in
+            {
+              Rme_native.Intf.name;
+              recover = (fun ~pid:_ ~epoch:_ -> ());
+              enter = (fun ~pid ~epoch:_ -> m.Rme_native.Intf.enter ~pid);
+              exit = (fun ~pid ~epoch:_ -> m.Rme_native.Intf.exit ~pid);
+            })
+          ()
+      in
+      assert_native_clean (name ^ " failure-free") r)
+    Rme_native.Stack.conventional_names
+
+(* --- Stacks under crash storms --- *)
+
+let native_storms () =
+  List.iter
+    (fun stack ->
+      let r =
+        Rme_native.Workers.run ~crash_interval:0.001 ~max_crashes:25
+          ~n:module_n ~passages:30_000
+          ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n stack)
+          ()
+      in
+      assert_native_clean (stack ^ " storm") r)
+    [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "t1-ticket" ]
+
+let native_csr_stacks_hold_csr () =
+  List.iter
+    (fun stack ->
+      (* Accumulate until the storm actually crashes someone inside the
+         CS (visible as re-entries). *)
+      let reentries = ref 0 in
+      let attempts = ref 0 in
+      while !reentries = 0 && !attempts < 8 do
+        incr attempts;
+        let r =
+          Rme_native.Workers.run ~crash_interval:0.0005 ~max_crashes:30
+            ~n:module_n ~passages:30_000
+            ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n stack)
+            ()
+        in
+        assert_native_clean (stack ^ " csr storm") r;
+        Alcotest.(check int)
+          (stack ^ " zero CSR violations")
+          0 r.Rme_native.Workers.csr_violations;
+        reentries := !reentries + r.Rme_native.Workers.csr_reentries
+      done;
+      if !reentries = 0 then
+        Alcotest.failf "%s: storms never crashed anyone inside the CS" stack)
+    [ "t2-mcs"; "t3-mcs" ]
+
+let native_distributed_barrier_storm () =
+  let r =
+    Rme_native.Workers.run ~crash_interval:0.001 ~max_crashes:25 ~n:module_n
+      ~passages:30_000
+      ~make:(fun crash ~n ->
+        Rme_native.Stack.recoverable ~variant:`Distributed crash ~n "t3-mcs")
+      ()
+  in
+  assert_native_clean "t3-mcs distributed-barrier storm" r
+
+let native_many_domains () =
+  (* Oversubscribe well beyond the core count. *)
+  let n = 8 in
+  let r =
+    Rme_native.Workers.run ~crash_interval:0.002 ~max_crashes:10 ~n
+      ~passages:5_000
+      ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n "t3-mcs")
+      ()
+  in
+  assert_native_clean "t3-mcs 8 domains" r
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "natomic",
+        [
+          case "cas-old-value" natomic_cas_old_value;
+          case "fas-faa" natomic_fas_faa;
+          case "cas-contended" natomic_cas_contended;
+        ] );
+      ("crash-protocol", [ case "epochs" crash_protocol_epochs ]);
+      ( "barrier",
+        [
+          case "spin-variant" (barrier_all_pass `Spin);
+          case "distributed-variant" (barrier_all_pass `Distributed);
+        ] );
+      ( "failure-free",
+        [
+          case "recoverable-stacks" native_stacks_failure_free;
+          case "conventional-locks" native_conventional_failure_free;
+        ] );
+      ( "storms",
+        [
+          slow_case "stacks" native_storms;
+          slow_case "csr-holds" native_csr_stacks_hold_csr;
+          slow_case "distributed-barrier" native_distributed_barrier_storm;
+          slow_case "many-domains" native_many_domains;
+        ] );
+    ]

@@ -1,0 +1,325 @@
+(* Property-based tests (QCheck, registered as alcotest cases): randomized
+   schedules, crash patterns and configurations against the safety
+   invariants; structural properties of the arbitration tree, the value
+   packing and the statistics module; determinism of replayed schedules. *)
+
+open Sim
+open Testutil
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- generators --- *)
+
+let model_gen = QCheck2.Gen.oneofl [ Memory.Cc; Memory.Dsm ]
+
+let stack_gen =
+  QCheck2.Gen.oneofl
+    [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "t1-ticket"; "t1-ya"; "rclh-fasas" ]
+
+let conventional_gen = QCheck2.Gen.oneofl Rme.Stack.conventional_names
+
+(* --- safety under randomized storms (the flagship property) --- *)
+
+let random_storms_preserve_safety =
+  let gen =
+    QCheck2.Gen.(
+      tup5 model_gen stack_gen (1 -- 6) (int_bound 10_000) (150 -- 800))
+  in
+  qtest ~count:60 "random crash storms are safe" gen
+    (fun (model, stack, n, seed, mean) ->
+      let r =
+        run_stack ~model ~n ~passages:15 ~max_steps:2_000_000
+          ~schedule:(storm ~seed ~mean ()) stack
+      in
+      (* Safety must hold even if the step budget truncated the run. *)
+      r.Harness.Driver.me_violations = 0
+      && r.Harness.Driver.counter_value = r.Harness.Driver.cs_completions)
+
+let random_storms_reach_target =
+  let gen = QCheck2.Gen.(tup4 model_gen stack_gen (1 -- 5) (int_bound 10_000)) in
+  qtest ~count:40 "moderate storms still finish" gen
+    (fun (model, stack, n, seed) ->
+      let r =
+        run_stack ~model ~n ~passages:12 ~max_steps:4_000_000
+          ~schedule:(storm ~seed ~mean:500 ())
+          stack
+      in
+      r.Harness.Driver.all_done)
+
+let csr_stacks_never_violate_csr =
+  let gen =
+    QCheck2.Gen.(
+      tup4 model_gen (oneofl [ "t2-mcs"; "t3-mcs" ]) (2 -- 5) (int_bound 10_000))
+  in
+  qtest ~count:40 "T2/T3 never violate CSR" gen (fun (model, stack, n, seed) ->
+      let r =
+        run_stack ~model ~n ~passages:15 ~max_steps:3_000_000
+          ~schedule:(storm ~seed ~mean:200 ())
+          stack
+      in
+      r.Harness.Driver.csr_violations = 0)
+
+let rclh_survives_random_individual_crashes =
+  let gen = QCheck2.Gen.(tup4 model_gen (2 -- 5) (int_bound 10_000) (150 -- 900)) in
+  qtest ~count:40 "FASAS-CLH safe and live under random individual crashes"
+    gen
+    (fun (model, n, seed, mean) ->
+      let r =
+        run_stack ~model ~n ~passages:12 ~max_steps:3_000_000
+          ~schedule:
+            (Schedule.with_individual_crashes ~seed ~mean ~n
+               (Schedule.uniform ~seed:(seed + 9)))
+          "rclh-fasas"
+      in
+      r.Harness.Driver.me_violations = 0
+      && r.Harness.Driver.csr_violations = 0
+      && r.Harness.Driver.counter_value = r.Harness.Driver.cs_completions
+      && r.Harness.Driver.all_done)
+
+let conventional_locks_safe_failure_free =
+  let gen =
+    QCheck2.Gen.(tup4 model_gen conventional_gen (1 -- 8) (int_bound 10_000))
+  in
+  qtest ~count:60 "conventional locks safe failure-free" gen
+    (fun (model, name, n, seed) ->
+      let r = run_conventional ~model ~n ~passages:15 ~seed name in
+      Harness.Driver.check_clean r = Ok ())
+
+(* --- determinism: a recorded schedule replays identically --- *)
+
+let replay_is_deterministic =
+  let gen = QCheck2.Gen.(tup3 stack_gen (2 -- 4) (int_bound 10_000)) in
+  qtest ~count:30 "identical seeds replay identically" gen
+    (fun (stack, n, seed) ->
+      let run () =
+        let r =
+          run_stack ~model:Memory.Dsm ~n ~passages:10 ~max_steps:1_000_000
+            ~schedule:(storm ~seed ~mean:300 ())
+            stack
+        in
+        ( r.Harness.Driver.total_steps,
+          r.Harness.Driver.total_rmrs,
+          r.Harness.Driver.counter_value,
+          r.Harness.Driver.crashes )
+      in
+      run () = run ())
+
+(* --- arbitration tree --- *)
+
+let tree_path_shape =
+  let gen = QCheck2.Gen.(1 -- 200) in
+  qtest "tree paths have uniform depth and end at the root" gen (fun n ->
+      let t = Locks.Tree.make n in
+      let d = Locks.Tree.depth t in
+      List.for_all
+        (fun pid ->
+          let p = Locks.Tree.path t ~pid in
+          Array.length p = d
+          && (d = 0 || fst p.(d - 1) = 1)
+          && Array.for_all (fun (node, side) -> node >= 1 && (side = 0 || side = 1)) p)
+        (List.init n (fun i -> i + 1)))
+
+let tree_paths_separate_processes =
+  let gen =
+    QCheck2.Gen.(
+      (2 -- 64) >>= fun n ->
+      tup3 (return n) (1 -- n) (1 -- n))
+  in
+  qtest "distinct processes share a node with opposite sides" gen
+    (fun (n, p, q) ->
+      p = q
+      ||
+      let t = Locks.Tree.make n in
+      let pp = Locks.Tree.path t ~pid:p and pq = Locks.Tree.path t ~pid:q in
+      (* There is exactly one deepest shared node, reached from opposite
+         sides — that node arbitrates between p and q. *)
+      let shared =
+        Array.to_list pp
+        |> List.filter (fun (node, _) ->
+               Array.exists (fun (node', _) -> node = node') pq)
+      in
+      match shared with
+      | (node, side) :: _ ->
+        let _, side' =
+          Array.to_list pq |> List.find (fun (node', _) -> node' = node)
+        in
+        side <> side'
+      | [] -> false)
+
+(* --- value packing --- *)
+
+let encode_roundtrip =
+  let gen = QCheck2.Gen.(tup2 (1 -- 100_000) (0 -- 1)) in
+  qtest "pair packing round-trips" gen (fun (id, tag) ->
+      let p = Encode.pair ~id ~tag in
+      Encode.id_of p = id && Encode.tag_of p = tag && not (Encode.is_bottom p))
+
+let encode_injective =
+  let gen = QCheck2.Gen.(tup4 (1 -- 1000) (0 -- 1) (1 -- 1000) (0 -- 1)) in
+  qtest "pair packing is injective" gen (fun (i1, t1, i2, t2) ->
+      Encode.pair ~id:i1 ~tag:t1 = Encode.pair ~id:i2 ~tag:t2
+      = (i1 = i2 && t1 = t2))
+
+(* --- stats --- *)
+
+let stats_match_reference =
+  let gen = QCheck2.Gen.(list_size (1 -- 50) (int_bound 10_000)) in
+  qtest "online stats equal reference fold" gen (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add_int s) xs;
+      let n = List.length xs in
+      let sum = List.fold_left ( + ) 0 xs in
+      Stats.count s = n
+      && Stats.max_int s = List.fold_left max min_int xs
+      && abs_float (Stats.mean s -. (float_of_int sum /. float_of_int n))
+         < 1e-9)
+
+let stats_merge_is_concat =
+  let gen =
+    QCheck2.Gen.(tup2 (list_size (0 -- 20) (int_bound 100))
+                   (list_size (0 -- 20) (int_bound 100)))
+  in
+  qtest "merge equals adding everything" gen (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () and c = Stats.create () in
+      List.iter (Stats.add_int a) xs;
+      List.iter (Stats.add_int b) ys;
+      List.iter (Stats.add_int c) (xs @ ys);
+      let m = Stats.merge a b in
+      Stats.count m = Stats.count c
+      && (Stats.count c = 0 || Stats.max_int m = Stats.max_int c))
+
+(* --- memory model --- *)
+
+let cc_read_after_read_is_free =
+  (* Whatever the op history, a read immediately following a read by the
+     same process of the same cell is never an RMR. *)
+  let op_gen = QCheck2.Gen.(tup2 (1 -- 3) (0 -- 3)) in
+  let gen = QCheck2.Gen.(list_size (1 -- 40) op_gen) in
+  qtest "CC: read-after-read is cached" gen (fun ops ->
+      let mem = Memory.create ~model:Memory.Cc ~n:3 in
+      let c = Memory.global mem ~name:"x" 0 in
+      List.for_all
+        (fun (pid, kind) ->
+          match kind with
+          | 0 ->
+            ignore (Memory.apply mem ~pid (Memory.Read c));
+            let _, rmr = Memory.apply mem ~pid (Memory.Read c) in
+            not rmr
+          | 1 ->
+            ignore (Memory.apply mem ~pid (Memory.Write (c, pid)));
+            true
+          | 2 ->
+            ignore (Memory.apply mem ~pid (Memory.Cas (c, pid, pid + 1)));
+            true
+          | _ ->
+            ignore (Memory.apply mem ~pid (Memory.Faa (c, 1)));
+            true)
+        ops)
+
+(* The big memory oracle: replay a random operation sequence against an
+   independent, direct transcription of Section 2's cost rules and demand
+   identical results and identical RMR charging, operation by operation. *)
+let memory_matches_reference_model =
+  let n_procs = 4 in
+  let op_gen =
+    QCheck2.Gen.(
+      tup3 (1 -- n_procs) (0 -- 5) (tup2 (int_bound 5) (int_bound 5)))
+  in
+  let gen = QCheck2.Gen.(tup2 model_gen (list_size (1 -- 80) op_gen)) in
+  qtest ~count:200 "Memory agrees with a reference model" gen
+    (fun (model, script) ->
+      let mem = Memory.create ~model ~n:n_procs in
+      let home = 2 in
+      let cell = Memory.cell mem ~name:"a" ~home 0 in
+      let save = Memory.cell mem ~name:"b" ~home:1 0 in
+      (* Reference state: two values plus reader sets. *)
+      let v_cell = ref 0 and v_save = ref 0 in
+      let readers_cell = ref [] and readers_save = ref [] in
+      let ref_charge ~pid ~is_read which =
+        match model with
+        | Memory.Dsm -> (if which = `Cell then home else 1) <> pid
+        | Memory.Cc ->
+          let readers = if which = `Cell then readers_cell else readers_save in
+          if is_read then begin
+            let cached = List.mem pid !readers in
+            readers := pid :: !readers;
+            not cached
+          end
+          else begin
+            readers := [];
+            true
+          end
+      in
+      List.for_all
+        (fun (pid, kind, (x, y)) ->
+          let op, expect_value, expect_rmr =
+            match kind with
+            | 0 ->
+              (Memory.Read cell, !v_cell, ref_charge ~pid ~is_read:true `Cell)
+            | 1 ->
+              v_cell := x;
+              (Memory.Write (cell, x), x, ref_charge ~pid ~is_read:false `Cell)
+            | 2 ->
+              let old = !v_cell in
+              if old = x then v_cell := y;
+              (Memory.Cas (cell, x, y), old, ref_charge ~pid ~is_read:false `Cell)
+            | 3 ->
+              let old = !v_cell in
+              v_cell := x;
+              (Memory.Fas (cell, x), old, ref_charge ~pid ~is_read:false `Cell)
+            | 4 ->
+              let old = !v_cell in
+              v_cell := old + x;
+              (Memory.Faa (cell, x), old, ref_charge ~pid ~is_read:false `Cell)
+            | _ ->
+              let old = !v_cell in
+              v_cell := x;
+              v_save := old;
+              let r1 = ref_charge ~pid ~is_read:false `Cell in
+              let r2 = ref_charge ~pid ~is_read:false `Save in
+              (Memory.Fasas (cell, x, save), old, r1 || r2)
+          in
+          let value, rmr = Memory.apply mem ~pid op in
+          value = expect_value && rmr = expect_rmr
+          && Memory.peek cell = !v_cell
+          && Memory.peek save = !v_save)
+        script)
+
+let dsm_rmr_iff_remote =
+  let gen = QCheck2.Gen.(tup3 (1 -- 6) (1 -- 6) (0 -- 3)) in
+  qtest "DSM: RMR iff non-home access" gen (fun (home, pid, kind) ->
+      let mem = Memory.create ~model:Memory.Dsm ~n:6 in
+      let c = Memory.cell mem ~name:"x" ~home 0 in
+      let op =
+        match kind with
+        | 0 -> Memory.Read c
+        | 1 -> Memory.Write (c, 1)
+        | 2 -> Memory.Cas (c, 0, 1)
+        | _ -> Memory.Fas (c, 2)
+      in
+      let _, rmr = Memory.apply mem ~pid op in
+      rmr = (home <> pid))
+
+let () =
+  Alcotest.run "qcheck"
+    [
+      ( "storms",
+        [
+          random_storms_preserve_safety;
+          random_storms_reach_target;
+          csr_stacks_never_violate_csr;
+          rclh_survives_random_individual_crashes;
+          conventional_locks_safe_failure_free;
+          replay_is_deterministic;
+        ] );
+      ("tree", [ tree_path_shape; tree_paths_separate_processes ]);
+      ("encode", [ encode_roundtrip; encode_injective ]);
+      ("stats", [ stats_match_reference; stats_merge_is_concat ]);
+      ( "memory",
+        [
+          cc_read_after_read_is_free;
+          dsm_rmr_iff_remote;
+          memory_matches_reference_model;
+        ] );
+    ]

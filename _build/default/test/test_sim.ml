@@ -1,0 +1,521 @@
+(* Unit tests for the simulator substrate: memory-cost models, the fiber
+   runtime, crash steps, schedulers, value packing and statistics. *)
+
+open Sim
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Runs [body] as process 1 of a 1-process simulation to completion. *)
+let solo ?(model = Memory.Cc) body =
+  let mem = Memory.create ~model ~n:1 in
+  let rt = Runtime.create mem ~body:(fun ~pid:_ ~epoch:_ -> body mem) in
+  while not (Runtime.all_done rt) do
+    Runtime.step rt 1
+  done;
+  mem
+
+(* --- Encode --- *)
+
+let encode_roundtrip () =
+  for id = 1 to 100 do
+    for tag = 0 to 1 do
+      let packed = Encode.pair ~id ~tag in
+      check "id" id (Encode.id_of packed);
+      check "tag" tag (Encode.tag_of packed);
+      check_bool "not bottom" false (Encode.is_bottom packed)
+    done
+  done;
+  check_bool "bottom" true (Encode.is_bottom Encode.bottom)
+
+let encode_no_collision () =
+  (* No (id, tag) pair may collide with bottom or any other pair. *)
+  let seen = Hashtbl.create 64 in
+  Hashtbl.add seen Encode.bottom ();
+  for id = 1 to 50 do
+    for tag = 0 to 1 do
+      let p = Encode.pair ~id ~tag in
+      check_bool "fresh" false (Hashtbl.mem seen p);
+      Hashtbl.add seen p ()
+    done
+  done
+
+(* --- Memory: CC cost model --- *)
+
+let cc_first_read_is_rmr () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"x" 7 in
+  let v, rmr = Memory.apply mem ~pid:1 (Memory.Read c) in
+  check "value" 7 v;
+  check_bool "first read is an RMR" true rmr;
+  let _, rmr2 = Memory.apply mem ~pid:1 (Memory.Read c) in
+  check_bool "second read is cached" false rmr2
+
+let cc_read_cached_per_process () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"x" 0 in
+  ignore (Memory.apply mem ~pid:1 (Memory.Read c));
+  let _, rmr = Memory.apply mem ~pid:2 (Memory.Read c) in
+  check_bool "p2's first read is its own RMR" true rmr;
+  (* Both now cached; a read by either is free. *)
+  let _, r1 = Memory.apply mem ~pid:1 (Memory.Read c) in
+  let _, r2 = Memory.apply mem ~pid:2 (Memory.Read c) in
+  check_bool "p1 cached" false r1;
+  check_bool "p2 cached" false r2
+
+let cc_write_invalidates_all () =
+  let mem = Memory.create ~model:Memory.Cc ~n:3 in
+  let c = Memory.global mem ~name:"x" 0 in
+  ignore (Memory.apply mem ~pid:1 (Memory.Read c));
+  ignore (Memory.apply mem ~pid:2 (Memory.Read c));
+  let _, w = Memory.apply mem ~pid:3 (Memory.Write (c, 5)) in
+  check_bool "write is an RMR" true w;
+  let _, r1 = Memory.apply mem ~pid:1 (Memory.Read c) in
+  let _, r2 = Memory.apply mem ~pid:2 (Memory.Read c) in
+  check_bool "p1 invalidated" true r1;
+  check_bool "p2 invalidated" true r2
+
+let cc_own_write_invalidates_self () =
+  (* The paper's definition is conservative: an in-cache read requires the
+     preceding accesses (by anyone, including the reader) to be reads. *)
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let c = Memory.global mem ~name:"x" 0 in
+  ignore (Memory.apply mem ~pid:1 (Memory.Read c));
+  ignore (Memory.apply mem ~pid:1 (Memory.Write (c, 1)));
+  let _, rmr = Memory.apply mem ~pid:1 (Memory.Read c) in
+  check_bool "own write invalidates own cache" true rmr
+
+let cc_failed_cas_is_rmr_and_invalidates () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"x" 3 in
+  ignore (Memory.apply mem ~pid:1 (Memory.Read c));
+  let v, rmr = Memory.apply mem ~pid:2 (Memory.Cas (c, 99, 42)) in
+  check "failed CAS returns old value" 3 v;
+  check "failed CAS leaves value" 3 (Memory.peek c);
+  check_bool "failed CAS is an RMR" true rmr;
+  let _, r1 = Memory.apply mem ~pid:1 (Memory.Read c) in
+  check_bool "failed CAS invalidates readers" true r1
+
+let rmw_semantics () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let c = Memory.global mem ~name:"x" 10 in
+  let old, _ = Memory.apply mem ~pid:1 (Memory.Cas (c, 10, 20)) in
+  check "CAS returns old" 10 old;
+  check "CAS swapped" 20 (Memory.peek c);
+  let old, _ = Memory.apply mem ~pid:1 (Memory.Fas (c, 30)) in
+  check "FAS returns old" 20 old;
+  check "FAS stored" 30 (Memory.peek c);
+  let old, _ = Memory.apply mem ~pid:1 (Memory.Faa (c, 5)) in
+  check "FAA returns old" 30 old;
+  check "FAA added" 35 (Memory.peek c)
+
+(* --- Memory: DSM cost model --- *)
+
+let dsm_locality () =
+  let mem = Memory.create ~model:Memory.Dsm ~n:2 in
+  let local = Memory.cell mem ~name:"l" ~home:2 0 in
+  let _, r_home = Memory.apply mem ~pid:2 (Memory.Read local) in
+  let _, r_remote = Memory.apply mem ~pid:1 (Memory.Read local) in
+  check_bool "home read free" false r_home;
+  check_bool "remote read costs" true r_remote;
+  (* Unlike CC, repeated remote reads stay expensive. *)
+  let _, again = Memory.apply mem ~pid:1 (Memory.Read local) in
+  check_bool "remote spin stays expensive in DSM" true again;
+  let _, w_home = Memory.apply mem ~pid:2 (Memory.Write (local, 1)) in
+  check_bool "home write free" false w_home
+
+let dsm_counters () =
+  let mem = Memory.create ~model:Memory.Dsm ~n:2 in
+  let c = Memory.cell mem ~name:"c" ~home:1 0 in
+  for _ = 1 to 5 do
+    ignore (Memory.apply mem ~pid:2 (Memory.Read c))
+  done;
+  ignore (Memory.apply mem ~pid:1 (Memory.Read c));
+  check "p2 rmrs" 5 (Memory.rmrs mem ~pid:2);
+  check "p1 rmrs" 0 (Memory.rmrs mem ~pid:1);
+  check "p2 steps" 5 (Memory.steps mem ~pid:2);
+  check "total" 5 (Memory.total_rmrs mem)
+
+let bitset_beyond_word () =
+  (* Reader sets must work for > 62 processes. *)
+  let n = 130 in
+  let mem = Memory.create ~model:Memory.Cc ~n in
+  let c = Memory.global mem ~name:"x" 0 in
+  for pid = 1 to n do
+    let _, rmr = Memory.apply mem ~pid (Memory.Read c) in
+    check_bool "first read rmr" true rmr
+  done;
+  for pid = 1 to n do
+    let _, rmr = Memory.apply mem ~pid (Memory.Read c) in
+    check_bool "second read cached" false rmr
+  done
+
+(* --- Runtime --- *)
+
+let runtime_runs_to_completion () =
+  let trace = ref [] in
+  let mem =
+    solo (fun mem ->
+        let c = Memory.global mem ~name:"x" 0 in
+        Proc.write c 1;
+        trace := Proc.read c :: !trace;
+        Proc.write c 2)
+  in
+  check "steps" 3 (Memory.steps mem ~pid:1);
+  check "read value" 1 (List.hd !trace)
+
+let runtime_step_is_one_op () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let c = Memory.global mem ~name:"x" 0 in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid:_ ~epoch:_ ->
+        Proc.write c 1;
+        Proc.write c 2;
+        Proc.write c 3)
+  in
+  Runtime.step rt 1;
+  check "after one step" 1 (Memory.peek c);
+  Runtime.step rt 1;
+  check "after two steps" 2 (Memory.peek c);
+  Runtime.step rt 1;
+  check_bool "done" true (Runtime.all_done rt);
+  check "final" 3 (Memory.peek c)
+
+let crash_restarts_with_higher_epoch () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"x" 0 in
+  let epochs_seen = ref [] in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid ~epoch ->
+        if pid = 1 then epochs_seen := epoch :: !epochs_seen;
+        Proc.write c epoch;
+        Proc.write c (epoch * 10))
+  in
+  Runtime.step rt 1;
+  check "first epoch write" 1 (Memory.peek c);
+  Runtime.crash rt ();
+  check_bool "enabled again" true (Runtime.runnable rt 1);
+  Runtime.step rt 1;
+  Runtime.step rt 1;
+  check "restarted with epoch 2" 20 (Memory.peek c);
+  check "epochs seen" 2 (List.length !epochs_seen);
+  Alcotest.(check (list int)) "epochs" [ 2; 1 ] !epochs_seen
+
+let crash_preserves_shared_memory () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let c = Memory.global mem ~name:"x" 0 in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid:_ ~epoch ->
+        if epoch = 1 then begin
+          Proc.write c 42;
+          Proc.write c 43 (* never executed: crash lands first *)
+        end)
+  in
+  Runtime.step rt 1;
+  Runtime.crash rt ();
+  check "NVRAM survives" 42 (Memory.peek c);
+  (* epoch 2 body writes nothing *)
+  while not (Runtime.all_done rt) do
+    Runtime.step rt 1
+  done;
+  check "still 42" 42 (Memory.peek c)
+
+let crash_loses_private_state () =
+  (* A private accumulator resets across crashes because the closure
+     restarts; persistent state must live outside the body. *)
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let c = Memory.global mem ~name:"x" 0 in
+  let observed = ref (-1) in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid:_ ~epoch:_ ->
+        let private_count = ref 0 in
+        incr private_count;
+        Proc.write c 1;
+        incr private_count;
+        Proc.write c 2;
+        observed := !private_count)
+  in
+  Runtime.step rt 1;
+  Runtime.crash rt ();
+  Runtime.step rt 1;
+  Runtime.step rt 1;
+  check "private state restarted from scratch" 2 !observed
+
+let crash_bump_skips_epochs () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let rt = Runtime.create mem ~body:(fun ~pid:_ ~epoch:_ -> ()) in
+  check "initial epoch" 1 (Runtime.epoch rt);
+  Runtime.crash rt ~bump:5 ();
+  check "skipped" 6 (Runtime.epoch rt);
+  Alcotest.check_raises "bump must be positive"
+    (Invalid_argument "Runtime.crash: bump must be >= 1") (fun () ->
+      Runtime.crash rt ~bump:0 ())
+
+let on_crash_hooks_fire () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let rt = Runtime.create mem ~body:(fun ~pid:_ ~epoch:_ -> ()) in
+  let fired = ref [] in
+  Runtime.on_crash rt (fun ~epoch -> fired := epoch :: !fired);
+  Runtime.crash rt ();
+  Runtime.crash rt ();
+  Alcotest.(check (list int)) "hook epochs" [ 3; 2 ] !fired
+
+let await_blocks_and_wakes () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"gate" 0 in
+  let woke = ref false in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid ~epoch:_ ->
+        if pid = 1 then begin
+          ignore (Proc.await c ~until:(fun v -> v = 1));
+          woke := true
+        end
+        else Proc.write c 1)
+  in
+  Runtime.step rt 1;
+  (* p1 performed its first read of the gate and is now blocked *)
+  check_bool "blocked" true (Runtime.blocked rt 1);
+  check_bool "writer not blocked" false (Runtime.blocked rt 2);
+  Alcotest.(check (option string))
+    "blocked on" (Some "gate") (Runtime.blocked_on rt 1);
+  Runtime.step rt 1;
+  (* spinning: still blocked, step consumed *)
+  check_bool "still blocked" true (Runtime.blocked rt 1);
+  Runtime.step rt 2;
+  check_bool "unblocked after write" false (Runtime.blocked rt 1);
+  Runtime.step rt 1;
+  check_bool "woke" true !woke
+
+let await_spin_is_cheap_in_cc () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"gate" 0 in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid ~epoch:_ ->
+        if pid = 1 then ignore (Proc.await c ~until:(fun v -> v = 1))
+        else Proc.write c 1)
+  in
+  for _ = 1 to 10 do
+    Runtime.step rt 1
+  done;
+  check "ten spins cost one RMR in CC" 1 (Memory.rmrs mem ~pid:1);
+  Runtime.step rt 2;
+  Runtime.step rt 1;
+  (* the wake-up read re-fetches after the invalidation *)
+  check "one more RMR to observe the write" 2 (Memory.rmrs mem ~pid:1)
+
+let crash_while_blocked () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let c = Memory.global mem ~name:"gate" 0 in
+  let completions = ref 0 in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid:_ ~epoch ->
+        if epoch = 1 then ignore (Proc.await c ~until:(fun v -> v = 1))
+        else incr completions)
+  in
+  Runtime.step rt 1;
+  check_bool "blocked" true (Runtime.blocked rt 1);
+  Runtime.crash rt ();
+  while not (Runtime.all_done rt) do
+    Runtime.step rt 1
+  done;
+  check "epoch-2 body ran" 1 !completions
+
+(* --- Schedules --- *)
+
+let drive schedule rt =
+  let rec go () =
+    match Runtime.enabled rt with
+    | [] -> ()
+    | en -> (
+      match schedule ~clock:(Runtime.clock rt) ~enabled:en with
+      | None -> ()
+      | Some (Schedule.Step pid) ->
+        Runtime.step rt pid;
+        go ()
+      | Some Schedule.Crash ->
+        Runtime.crash rt ();
+        go ()
+      | Some (Schedule.Crash_one pid) ->
+        Runtime.crash_one rt pid;
+        go ())
+  in
+  go ()
+
+let round_robin_is_fair () =
+  let mem = Memory.create ~model:Memory.Cc ~n:3 in
+  let c = Memory.global mem ~name:"x" 0 in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid:_ ~epoch:_ ->
+        for _ = 1 to 4 do
+          ignore (Proc.faa c 1)
+        done)
+  in
+  drive (Schedule.round_robin ()) rt;
+  check "all work done" 12 (Memory.peek c);
+  check "equal steps p1" 4 (Memory.steps mem ~pid:1);
+  check "equal steps p3" 4 (Memory.steps mem ~pid:3)
+
+let of_list_skips_finished () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let c = Memory.global mem ~name:"x" 0 in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid ~epoch:_ ->
+        if pid = 1 then ignore (Proc.faa c 1))
+  in
+  (* p1 finishes after one step; later "Step 1" decisions are skipped. *)
+  drive (Schedule.of_list Schedule.[ Step 1; Step 1; Step 2 ]) rt;
+  check "p1 work" 1 (Memory.peek c);
+  check_bool "all done" true (Runtime.all_done rt)
+
+let with_crashes_cadence () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let c = Memory.global mem ~name:"x" 0 in
+  let rt =
+    Runtime.create mem ~body:(fun ~pid:_ ~epoch:_ ->
+        for _ = 1 to 100 do
+          ignore (Proc.faa c 1)
+        done)
+  in
+  let sched =
+    Schedule.stop_after 50 (Schedule.with_crashes ~every:9 (Schedule.round_robin ()))
+  in
+  drive sched rt;
+  check "crashes injected every 10th decision" 5 (Runtime.crashes rt)
+
+let uniform_is_deterministic_per_seed () =
+  let run seed =
+    let mem = Memory.create ~model:Memory.Cc ~n:3 in
+    let c = Memory.global mem ~name:"x" 0 in
+    let rt =
+      Runtime.create mem ~body:(fun ~pid ~epoch:_ ->
+          for _ = 1 to 10 do
+            ignore (Proc.faa c pid)
+          done)
+    in
+    drive (Schedule.stop_after 20 (Schedule.uniform ~seed)) rt;
+    (Memory.steps mem ~pid:1, Memory.steps mem ~pid:2, Memory.steps mem ~pid:3)
+  in
+  Alcotest.(check bool) "same seed same run" true (run 7 = run 7);
+  Alcotest.(check bool)
+    "different seeds eventually differ" true
+    (List.exists (fun s -> run s <> run 7) [ 8; 9; 10; 11 ])
+
+(* --- Trace --- *)
+
+let trace_records_operations () =
+  let mem = Memory.create ~model:Memory.Cc ~n:2 in
+  let tr = Trace.create () in
+  Trace.attach tr mem;
+  let c = Memory.global mem ~name:"x" 0 in
+  ignore (Memory.apply mem ~pid:1 (Memory.Write (c, 5)));
+  ignore (Memory.apply mem ~pid:2 (Memory.Read c));
+  Trace.record_crash tr ~epoch:2;
+  ignore (Memory.apply mem ~pid:1 (Memory.Cas (c, 5, 6)));
+  check "length" 4 (Trace.length tr);
+  check "total" 4 (Trace.total tr);
+  (match Trace.events tr with
+  | [
+   Trace.Op { pid = 1; op = "write"; cell = "x"; value = 5; rmr = true; _ };
+   Trace.Op { pid = 2; op = "read"; value = 5; _ };
+   Trace.Crash { epoch = 2; _ };
+   Trace.Op { op = "cas"; value = 5 (* old value *); _ };
+  ] ->
+    ()
+  | _ -> Alcotest.fail "wrong event sequence");
+  (* Rendering must not raise and mentions the cell. *)
+  let rendered = Format.asprintf "%a" (Trace.dump ?last:None) tr in
+  check_bool "render nonempty" true (String.length rendered > 0)
+
+let trace_ring_keeps_most_recent () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let tr = Trace.create ~capacity:5 () in
+  Trace.attach tr mem;
+  let c = Memory.global mem ~name:"x" 0 in
+  for i = 1 to 12 do
+    ignore (Memory.apply mem ~pid:1 (Memory.Write (c, i)))
+  done;
+  check "ring capped" 5 (Trace.length tr);
+  check "total keeps counting" 12 (Trace.total tr);
+  match Trace.events tr with
+  | Trace.Op { value; seq; _ } :: _ ->
+    check "oldest retained is event 8" 8 value;
+    check "seq matches" 7 seq
+  | _ -> Alcotest.fail "expected op events"
+
+let trace_detach () =
+  let mem = Memory.create ~model:Memory.Cc ~n:1 in
+  let tr = Trace.create () in
+  Trace.attach tr mem;
+  let c = Memory.global mem ~name:"x" 0 in
+  ignore (Memory.apply mem ~pid:1 (Memory.Read c));
+  Memory.set_tracer mem None;
+  ignore (Memory.apply mem ~pid:1 (Memory.Read c));
+  check "stopped recording" 1 (Trace.total tr)
+
+(* --- Stats --- *)
+
+let stats_summary () =
+  let s = Stats.create () in
+  check "empty count" 0 (Stats.count s);
+  Alcotest.(check (float 0.001)) "empty mean" 0. (Stats.mean s);
+  List.iter (Stats.add_int s) [ 1; 5; 3 ];
+  check "count" 3 (Stats.count s);
+  Alcotest.(check (float 0.001)) "mean" 3. (Stats.mean s);
+  check "max" 5 (Stats.max_int s);
+  Alcotest.(check (float 0.001)) "min" 1. (Stats.min s);
+  let s2 = Stats.create () in
+  Stats.add_int s2 10;
+  let m = Stats.merge s s2 in
+  check "merged count" 4 (Stats.count m);
+  check "merged max" 10 (Stats.max_int m)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "encode",
+        [ case "roundtrip" encode_roundtrip; case "no-collision" encode_no_collision ] );
+      ( "memory-cc",
+        [
+          case "first-read-rmr" cc_first_read_is_rmr;
+          case "per-process-cache" cc_read_cached_per_process;
+          case "write-invalidates" cc_write_invalidates_all;
+          case "own-write-invalidates" cc_own_write_invalidates_self;
+          case "failed-cas" cc_failed_cas_is_rmr_and_invalidates;
+          case "rmw-semantics" rmw_semantics;
+        ] );
+      ( "memory-dsm",
+        [
+          case "locality" dsm_locality;
+          case "counters" dsm_counters;
+          case "bitset-beyond-word" bitset_beyond_word;
+        ] );
+      ( "runtime",
+        [
+          case "runs-to-completion" runtime_runs_to_completion;
+          case "step-is-one-op" runtime_step_is_one_op;
+          case "crash-restarts" crash_restarts_with_higher_epoch;
+          case "crash-preserves-nvram" crash_preserves_shared_memory;
+          case "crash-loses-private" crash_loses_private_state;
+          case "crash-bump" crash_bump_skips_epochs;
+          case "on-crash-hooks" on_crash_hooks_fire;
+          case "await-blocks" await_blocks_and_wakes;
+          case "await-cheap-cc" await_spin_is_cheap_in_cc;
+          case "crash-while-blocked" crash_while_blocked;
+        ] );
+      ( "schedule",
+        [
+          case "round-robin-fair" round_robin_is_fair;
+          case "of-list-skips" of_list_skips_finished;
+          case "crash-cadence" with_crashes_cadence;
+          case "uniform-deterministic" uniform_is_deterministic_per_seed;
+        ] );
+      ( "trace",
+        [
+          case "records-operations" trace_records_operations;
+          case "ring-buffer" trace_ring_keeps_most_recent;
+          case "detach" trace_detach;
+        ] );
+      ("stats", [ case "summary" stats_summary ]);
+    ]

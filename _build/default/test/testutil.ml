@@ -1,0 +1,40 @@
+(* Shared helpers for the test suites. *)
+
+open Sim
+
+let conventional_as_rme name mem =
+  Rme.Rme_intf.of_mutex (Rme.Stack.conventional mem name)
+
+(* Run a conventional lock failure-free and return the driver report. *)
+let run_conventional ?(n = 4) ?(passages = 50) ?(seed = 11) ?schedule
+    ~model name =
+  let schedule =
+    match schedule with Some s -> s | None -> Schedule.uniform ~seed
+  in
+  Harness.Driver.run ~n ~passages ~model ~make:(conventional_as_rme name)
+    ~schedule ()
+
+let run_stack ?(n = 4) ?(passages = 50) ?(seed = 11) ?max_steps ?schedule
+    ~model name =
+  let schedule =
+    match schedule with Some s -> s | None -> Schedule.uniform ~seed
+  in
+  Harness.Driver.run ?max_steps ~n ~passages ~model
+    ~make:(fun mem -> Rme.Stack.recoverable mem name)
+    ~schedule ()
+
+let assert_clean what (r : Harness.Driver.report) =
+  match Harness.Driver.check_clean r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s (%a)" what e Harness.Driver.pp_report r
+
+(* Crash-storm schedule used across suites. *)
+let storm ?(bursty = true) ~seed ~mean () =
+  Schedule.with_random_crashes ~seed ~mean ~bursty (Schedule.uniform ~seed:(seed * 31 + 7))
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let models = [ Memory.Cc; Memory.Dsm ]
+
+let model_tag = function Memory.Cc -> "cc" | Memory.Dsm -> "dsm"
