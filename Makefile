@@ -1,0 +1,24 @@
+# Tier-1 verification plus the parallel-engine smoke test. `make ci` is
+# what .github/workflows/ci.yml runs; keep the two in sync.
+
+.PHONY: all build test bench-smoke ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test: build
+	dune runtest
+
+# E1 exercises the sweep fan-out, E9 the parallel model checker, both on a
+# 2-worker pool. Any safety violation (assert_ok) or E9 expectation
+# mismatch (a clean row reporting a violation, or a known-negative row
+# failing to find one) makes the binary exit non-zero.
+bench-smoke: build
+	dune exec bench/main.exe -- e1 e9 --jobs 2 --no-json
+
+ci: build test bench-smoke
+
+clean:
+	dune clean

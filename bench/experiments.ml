@@ -9,8 +9,36 @@
 open Sim
 module Driver = Harness.Driver
 module Report = Harness.Report
+module Pool = Parallel.Pool
 
 let sweep_ns = [ 2; 4; 8; 16; 32; 48 ]
+
+(* Every cell of every table below is a fully independent, seeded
+   simulator run, so each experiment fans its (lock, N, seed, model)
+   configurations out over the domain pool and collects cells back {e in
+   configuration order} — tables print byte-identically for any --jobs. *)
+
+let cross rows cols =
+  List.concat_map (fun r -> List.map (fun c -> (r, c)) cols) rows
+
+let rec chunks k = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let row, rest = take k [] l in
+    row :: chunks k rest
+
+(* One table row per [row], one cell per [col], computed on the pool. *)
+let sweep pool ~rows ~cols ~label ~cell =
+  let cells = Pool.map pool (fun (r, c) -> cell r c) (cross rows cols) in
+  List.map2
+    (fun r row_cells -> label r :: row_cells)
+    rows
+    (chunks (List.length cols) cells)
 
 let mm stats =
   Printf.sprintf "%.1f (%d)" (Stats.mean stats) (Stats.max_int stats)
@@ -26,7 +54,7 @@ let assert_ok what (r : Driver.report) =
     failwith (what ^ ": safety violation during benchmark!")
 
 (* E1/E2: steady-state RMRs per passage vs N. *)
-let steady_state_rmrs ~model () =
+let steady_state_rmrs ~model ~pool () =
   let algos =
     [
       "unprotected-mcs";
@@ -44,16 +72,10 @@ let steady_state_rmrs ~model () =
     ]
   in
   let rows =
-    List.map
-      (fun name ->
-        name
-        :: List.map
-             (fun n ->
-               let r = run_steady ~model ~n name in
-               assert_ok name r;
-               mm r.Driver.steady_rmrs)
-             sweep_ns)
-      algos
+    sweep pool ~rows:algos ~cols:sweep_ns ~label:Fun.id ~cell:(fun name n ->
+        let r = run_steady ~model ~n name in
+        assert_ok name r;
+        mm r.Driver.steady_rmrs)
   in
   Report.table
     ~title:
@@ -66,27 +88,24 @@ let steady_state_rmrs ~model () =
     rows
 
 (* E3: cost of the passage that performs post-crash recovery. *)
-let recovery_rmrs () =
+let recovery_rmrs ~pool () =
   List.iter
     (fun model ->
       let rows =
-        List.map
-          (fun name ->
-            name
-            :: List.map
-                 (fun n ->
-                   let r =
-                     Driver.run ~n ~passages:10 ~max_steps:40_000_000 ~model
-                       ~make:(fun mem -> Rme.Stack.recoverable mem name)
-                       ~schedule:
-                         (Schedule.with_crashes ~every:(8_000 * n)
-                            (Schedule.uniform ~seed:7))
-                       ()
-                   in
-                   assert_ok name r;
-                   mm r.Driver.recovery_rmrs)
-                 sweep_ns)
-          [ "t1-mcs"; "t3-mcs"; "t1-ya" ]
+        sweep pool
+          ~rows:[ "t1-mcs"; "t3-mcs"; "t1-ya" ]
+          ~cols:sweep_ns ~label:Fun.id
+          ~cell:(fun name n ->
+            let r =
+              Driver.run ~n ~passages:10 ~max_steps:40_000_000 ~model
+                ~make:(fun mem -> Rme.Stack.recoverable mem name)
+                ~schedule:
+                  (Schedule.with_crashes ~every:(8_000 * n)
+                     (Schedule.uniform ~seed:7))
+                ()
+            in
+            assert_ok name r;
+            mm r.Driver.recovery_rmrs)
       in
       Report.table
         ~title:
@@ -136,7 +155,7 @@ let barrier_worst_case ~model ~n enter =
   (cost.(1), Array.fold_left max 0 cost)
 
 (* E4: barrier microbenchmark (Theorems 3.2 / 3.3). *)
-let barrier_rmrs () =
+let barrier_rmrs ~pool () =
   let variants =
     [
       ( "Barrier (CC)",
@@ -163,15 +182,11 @@ let barrier_rmrs () =
     ]
   in
   let rows =
-    List.map
-      (fun (name, model, enter) ->
-        name
-        :: List.map
-             (fun n ->
-               let leader, worst = barrier_worst_case ~model ~n enter in
-               Printf.sprintf "%d / %d" leader worst)
-             sweep_ns)
-      variants
+    sweep pool ~rows:variants ~cols:sweep_ns
+      ~label:(fun (name, _, _) -> name)
+      ~cell:(fun (_, model, enter) n ->
+        let leader, worst = barrier_worst_case ~model ~n enter in
+        Printf.sprintf "%d / %d" leader worst)
   in
   Report.table
     ~title:
@@ -181,31 +196,27 @@ let barrier_rmrs () =
     rows
 
 (* E5: throughput as crash frequency varies (weak SF / Theorem 4.8). *)
-let crash_frequency_sweep () =
+let crash_frequency_sweep ~pool () =
   let intervals = [ 200; 400; 800; 1600; 3200; 6400; 12800; 25600 ] in
   let budget = 400_000 in
   let rows =
-    List.map
-      (fun name ->
-        name
-        :: List.map
-             (fun every ->
-               let r =
-                 Driver.run ~n:8 ~passages:max_int ~max_steps:budget
-                   ~model:Memory.Cc
-                   ~make:(fun mem -> Rme.Stack.recoverable mem name)
-                   ~schedule:
-                     (Schedule.with_random_crashes ~seed:5 ~mean:every
-                        (Schedule.uniform ~seed:99))
-                   ()
-               in
-               assert_ok name r;
-               Printf.sprintf "%.0f"
-                 (float_of_int r.Driver.cs_completions
-                 /. float_of_int r.Driver.total_steps
-                 *. 100_000.))
-             intervals)
-      [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "t1-ya" ]
+    sweep pool
+      ~rows:[ "t1-mcs"; "t2-mcs"; "t3-mcs"; "t1-ya" ]
+      ~cols:intervals ~label:Fun.id
+      ~cell:(fun name every ->
+        let r =
+          Driver.run ~n:8 ~passages:max_int ~max_steps:budget ~model:Memory.Cc
+            ~make:(fun mem -> Rme.Stack.recoverable mem name)
+            ~schedule:
+              (Schedule.with_random_crashes ~seed:5 ~mean:every
+                 (Schedule.uniform ~seed:99))
+            ()
+        in
+        assert_ok name r;
+        Printf.sprintf "%.0f"
+          (float_of_int r.Driver.cs_completions
+          /. float_of_int r.Driver.total_steps
+          *. 100_000.))
   in
   Report.table
     ~title:
@@ -221,25 +232,24 @@ let crash_frequency_sweep () =
    without bound as the run extends; Transformation 3 pins it to a
    constant — at the price of pacing the whole system at the privileged
    (starved) process's step rate. *)
-let frf_overtaking () =
+let frf_overtaking ~pool () =
   let budgets = [ 125_000; 250_000; 500_000; 1_000_000 ] in
-  let row name =
-    name
-    :: List.map
-         (fun budget ->
-           let r =
-             Driver.run ~n:5 ~passages:max_int ~max_steps:budget
-               ~model:Memory.Cc
-               ~make:(fun mem -> Rme.Stack.recoverable mem name)
-               ~schedule:
-                 (Schedule.with_random_crashes ~seed:1 ~mean:300
-                    (Schedule.geometric_bias ~seed:101 0.8))
-               ()
-           in
-           assert_ok name r;
-           Printf.sprintf "%d (%d done)" r.Driver.max_overtaking
-             r.Driver.cs_completions)
-         budgets
+  let rows =
+    sweep pool
+      ~rows:[ "t2-mcs"; "t3-mcs"; "frf-mcs" ]
+      ~cols:budgets ~label:Fun.id
+      ~cell:(fun name budget ->
+        let r =
+          Driver.run ~n:5 ~passages:max_int ~max_steps:budget ~model:Memory.Cc
+            ~make:(fun mem -> Rme.Stack.recoverable mem name)
+            ~schedule:
+              (Schedule.with_random_crashes ~seed:1 ~mean:300
+                 (Schedule.geometric_bias ~seed:101 0.8))
+            ()
+        in
+        assert_ok name r;
+        Printf.sprintf "%d (%d done)" r.Driver.max_overtaking
+          r.Driver.cs_completions)
   in
   Report.table
     ~title:
@@ -249,10 +259,10 @@ let frf_overtaking () =
     ~header:
       ("algorithm"
       :: List.map (fun b -> Printf.sprintf "%dk steps" (b / 1000)) budgets)
-    [ row "t2-mcs"; row "t3-mcs"; row "frf-mcs" ]
+    rows
 
 (* E7: ablations (beyond the broadcast column already in E4). *)
-let ablations () =
+let ablations ~pool () =
   (* (b) recovery gate: barrier vs global spin, long reset (YA base). *)
   let recovery_gate name =
     let r =
@@ -264,15 +274,20 @@ let ablations () =
     assert_ok name r;
     mm r.Driver.recovery_recover_section_rmrs
   in
+  let gates =
+    Pool.map pool
+      (fun (label, name) -> [ label; recovery_gate name ])
+      [
+        ("barrier (paper)", "t1-ya");
+        ("global spin (ablation)", "t1spin-ya");
+      ]
+  in
   Report.table
     ~title:
       "E7b: recovery-section RMRs with a Θ(N log N)-reset base (YA, N=16, \
        DSM) — the Section-3 barrier vs a naive global spin gate"
     ~header:[ "recovery gate"; "mean (max) RMRs" ]
-    [
-      [ "barrier (paper)"; recovery_gate "t1-ya" ];
-      [ "global spin (ablation)"; recovery_gate "t1spin-ya" ];
-    ];
+    gates;
   (* (c) fast path on/off, measured where it bites: a caller that reaches
      the barrier after the leader has already opened it (line 41) pays one
      read with the fast path versus the full DSM slow path — tag reset
@@ -318,42 +333,52 @@ let ablations () =
       [ "no fast path"; string_of_int (late_arrival ~fast_path:false) ];
     ]
 
-(* E8: correctness statistics under crash storms. *)
-let correctness_stats () =
+(* E8: correctness statistics under crash storms. One task per (algorithm,
+   seed); per-algorithm sums are folded back in seed order (they are
+   commutative sums anyway, but order costs nothing). *)
+let correctness_stats ~pool () =
   let seeds = List.init 12 (fun i -> i + 1) in
-  let row name =
-    let acc_me = ref 0
-    and acc_csrv = ref 0
-    and acc_reent = ref 0
-    and acc_crashes = ref 0
-    and wedged = ref 0
-    and lost = ref 0 in
-    List.iter
-      (fun seed ->
-        let r =
-          Driver.run ~n:6 ~passages:50 ~max_steps:2_000_000 ~model:Memory.Cc
-            ~make:(fun mem -> Rme.Stack.recoverable mem name)
-            ~schedule:
-              (Schedule.with_random_crashes ~seed ~mean:300 ~bursty:true
-                 (Schedule.uniform ~seed:(seed * 13)))
-            ()
-        in
-        acc_me := !acc_me + r.Driver.me_violations;
-        acc_csrv := !acc_csrv + r.Driver.csr_violations;
-        acc_reent := !acc_reent + r.Driver.csr_reentries;
-        acc_crashes := !acc_crashes + r.Driver.crashes;
-        if r.Driver.counter_value <> r.Driver.cs_completions then incr lost;
-        if not r.Driver.all_done then incr wedged)
-      seeds;
-    [
-      name;
-      string_of_int !acc_crashes;
-      string_of_int !acc_me;
-      string_of_int !lost;
-      string_of_int !acc_csrv;
-      string_of_int !acc_reent;
-      Printf.sprintf "%d/%d" !wedged (List.length seeds);
-    ]
+  let names = [ "unprotected-mcs"; "t1-mcs"; "t2-mcs"; "t3-mcs" ] in
+  let reports =
+    Pool.map pool
+      (fun (name, seed) ->
+        Driver.run ~n:6 ~passages:50 ~max_steps:2_000_000 ~model:Memory.Cc
+          ~make:(fun mem -> Rme.Stack.recoverable mem name)
+          ~schedule:
+            (Schedule.with_random_crashes ~seed ~mean:300 ~bursty:true
+               (Schedule.uniform ~seed:(seed * 13)))
+          ())
+      (cross names seeds)
+  in
+  let rows =
+    List.map2
+      (fun name per_seed ->
+        let acc_me = ref 0
+        and acc_csrv = ref 0
+        and acc_reent = ref 0
+        and acc_crashes = ref 0
+        and wedged = ref 0
+        and lost = ref 0 in
+        List.iter
+          (fun (r : Driver.report) ->
+            acc_me := !acc_me + r.Driver.me_violations;
+            acc_csrv := !acc_csrv + r.Driver.csr_violations;
+            acc_reent := !acc_reent + r.Driver.csr_reentries;
+            acc_crashes := !acc_crashes + r.Driver.crashes;
+            if r.Driver.counter_value <> r.Driver.cs_completions then incr lost;
+            if not r.Driver.all_done then incr wedged)
+          per_seed;
+        [
+          name;
+          string_of_int !acc_crashes;
+          string_of_int !acc_me;
+          string_of_int !lost;
+          string_of_int !acc_csrv;
+          string_of_int !acc_reent;
+          Printf.sprintf "%d/%d" !wedged (List.length seeds);
+        ])
+      names
+      (chunks (List.length seeds) reports)
   in
   Report.table
     ~title:
@@ -364,15 +389,32 @@ let correctness_stats () =
         "algorithm"; "crashes"; "ME viol"; "lost-update runs"; "CSR viol";
         "CSR re-entries"; "wedged runs";
       ]
-    [ row "unprotected-mcs"; row "t1-mcs"; row "t2-mcs"; row "t3-mcs" ]
+    rows
 
-(* E9: systematic concurrency testing. *)
-let model_checking () =
-  let mc name ?(stop_on_first = false) ~d ~c ~runs sc =
-    let o =
-      Harness.Model_check.explore ~divergence_bound:d ~crash_bound:c
-        ~max_runs:runs ~stop_on_first sc
+(* E9: systematic concurrency testing. Each row is one search, internally
+   parallelized by [explore ~pool] (rows share the pool; results are
+   committed in DFS order, so the table is --jobs-independent). Rows whose
+   name carries "EXPECTED" are the known-negative results and must show a
+   violation; every other row must be clean — violated expectations abort
+   the bench with a non-zero exit, which is what CI's smoke run keys on. *)
+let model_checking ~pool () =
+  let contains_expected name =
+    let m = String.length "EXPECTED" in
+    let rec at i =
+      i + m <= String.length name
+      && (String.sub name i m = "EXPECTED" || at (i + 1))
     in
+    at 0
+  in
+  let check_expectation name (o : Harness.Model_check.outcome) =
+    match (contains_expected name, o.Harness.Model_check.violations) with
+    | true, [] ->
+      failwith ("E9: " ^ name ^ ": expected a violation, search found none")
+    | false, v :: _ -> failwith ("E9: " ^ name ^ ": unexpected violation: " ^ v)
+    | true, _ :: _ | false, [] -> ()
+  in
+  let row name (o : Harness.Model_check.outcome) =
+    check_expectation name o;
     [
       name;
       string_of_int o.Harness.Model_check.runs
@@ -384,21 +426,15 @@ let model_checking () =
       | v :: _ -> v);
     ]
   in
+  let mc name ?(stop_on_first = false) ~d ~c ~runs sc =
+    row name
+      (Harness.Model_check.explore ~divergence_bound:d ~crash_bound:c
+         ~max_runs:runs ~stop_on_first ~pool sc)
+  in
   let mc_co name ?(stop_on_first = false) ~d ~co ~runs sc =
-    let o =
-      Harness.Model_check.explore ~divergence_bound:d ~crash_one_bound:co
-        ~max_runs:runs ~stop_on_first sc
-    in
-    [
-      name;
-      string_of_int o.Harness.Model_check.runs
-      ^ (if o.Harness.Model_check.truncated then "+" else "");
-      string_of_int o.Harness.Model_check.steps;
-      string_of_int o.Harness.Model_check.deadlocks;
-      (match o.Harness.Model_check.violations with
-      | [] -> "none"
-      | v :: _ -> v);
-    ]
+    row name
+      (Harness.Model_check.explore ~divergence_bound:d ~crash_one_bound:co
+         ~max_runs:runs ~stop_on_first ~pool sc)
   in
   let rme ?(check_csr = true) stack n model =
     Harness.Scenarios.rme ~check_csr ~n ~model
@@ -450,7 +486,7 @@ let model_checking () =
    base lock whose queue still references its dead enlistment and the
    system wedges: safety survives, liveness does not. This is why the O(1)
    result needs the stronger failure model. *)
-let failure_model_separation () =
+let failure_model_separation ~pool () =
   let seeds = [ 1; 2; 3; 4; 5; 6 ] in
   let run stack ~individual seed =
     let n = 5 in
@@ -464,24 +500,41 @@ let failure_model_separation () =
       ~make:(fun mem -> Rme.Stack.recoverable mem stack)
       ~schedule ()
   in
-  let row stack ~individual =
-    let done_runs = ref 0 and me = ref 0 and cs = ref 0 and lost = ref 0 in
-    List.iter
-      (fun seed ->
-        let r = run stack ~individual seed in
-        if r.Driver.all_done then incr done_runs;
-        me := !me + r.Driver.me_violations;
-        cs := !cs + r.Driver.cs_completions;
-        if r.Driver.counter_value <> r.Driver.cs_completions then incr lost)
-      seeds;
+  let configs =
     [
-      stack;
-      (if individual then "independent" else "system-wide");
-      Printf.sprintf "%d/%d" !done_runs (List.length seeds);
-      string_of_int (!cs / List.length seeds);
-      string_of_int !me;
-      string_of_int !lost;
+      ("t1-mcs", false); ("t1-mcs", true);
+      ("t3-mcs", false); ("t3-mcs", true);
+      ("t1-ticket", false); ("t1-ticket", true);
+      ("rclh-fasas", false); ("rclh-fasas", true);
+      ("rtas", false); ("rtas", true);
     ]
+  in
+  let reports =
+    Pool.map pool
+      (fun ((stack, individual), seed) -> run stack ~individual seed)
+      (cross configs seeds)
+  in
+  let rows =
+    List.map2
+      (fun (stack, individual) per_seed ->
+        let done_runs = ref 0 and me = ref 0 and cs = ref 0 and lost = ref 0 in
+        List.iter
+          (fun (r : Driver.report) ->
+            if r.Driver.all_done then incr done_runs;
+            me := !me + r.Driver.me_violations;
+            cs := !cs + r.Driver.cs_completions;
+            if r.Driver.counter_value <> r.Driver.cs_completions then incr lost)
+          per_seed;
+        [
+          stack;
+          (if individual then "independent" else "system-wide");
+          Printf.sprintf "%d/%d" !done_runs (List.length seeds);
+          string_of_int (!cs / List.length seeds);
+          string_of_int !me;
+          string_of_int !lost;
+        ])
+      configs
+      (chunks (List.length seeds) reports)
   in
   Report.table
     ~title:
@@ -492,18 +545,7 @@ let failure_model_separation () =
         "algorithm"; "failure model"; "runs finished"; "avg CS entries";
         "ME viol"; "lost-update runs";
       ]
-    [
-      row "t1-mcs" ~individual:false;
-      row "t1-mcs" ~individual:true;
-      row "t3-mcs" ~individual:false;
-      row "t3-mcs" ~individual:true;
-      row "t1-ticket" ~individual:false;
-      row "t1-ticket" ~individual:true;
-      row "rclh-fasas" ~individual:false;
-      row "rclh-fasas" ~individual:true;
-      row "rtas" ~individual:false;
-      row "rtas" ~individual:true;
-    ]
+    rows
 
 (* E10: native multicore timing. *)
 let native_uncontended_bechamel () =
@@ -600,17 +642,23 @@ let native_contended () =
       row ~n:4 ~crash_interval:0.001 "t3-mcs";
     ]
 
-let all =
+(* E10 deliberately ignores the pool: it spawns its own worker domains
+   and measures wall-clock, so sharing cores with bench workers would
+   corrupt the numbers. *)
+let all : (string * (pool:Pool.t -> unit)) list =
   [
-    ("e1", fun () -> steady_state_rmrs ~model:Memory.Cc ());
-    ("e2", fun () -> steady_state_rmrs ~model:Memory.Dsm ());
-    ("e3", recovery_rmrs);
-    ("e4", barrier_rmrs);
-    ("e5", crash_frequency_sweep);
-    ("e6", frf_overtaking);
-    ("e7", ablations);
-    ("e8", correctness_stats);
-    ("e9", model_checking);
-    ("e10", fun () -> native_uncontended_bechamel (); native_contended ());
-    ("e11", failure_model_separation);
+    ("e1", fun ~pool -> steady_state_rmrs ~model:Memory.Cc ~pool ());
+    ("e2", fun ~pool -> steady_state_rmrs ~model:Memory.Dsm ~pool ());
+    ("e3", fun ~pool -> recovery_rmrs ~pool ());
+    ("e4", fun ~pool -> barrier_rmrs ~pool ());
+    ("e5", fun ~pool -> crash_frequency_sweep ~pool ());
+    ("e6", fun ~pool -> frf_overtaking ~pool ());
+    ("e7", fun ~pool -> ablations ~pool ());
+    ("e8", fun ~pool -> correctness_stats ~pool ());
+    ("e9", fun ~pool -> model_checking ~pool ());
+    ( "e10",
+      fun ~pool:_ ->
+        native_uncontended_bechamel ();
+        native_contended () );
+    ("e11", fun ~pool -> failure_model_separation ~pool ());
   ]

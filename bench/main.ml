@@ -1,11 +1,78 @@
 (* Benchmark harness entry point: runs every experiment of DESIGN.md §4 (or
-   the subset named on the command line) and prints its table. *)
+   the subset named on the command line) and prints its table. Cells are
+   computed on a domain pool (--jobs N, default
+   Domain.recommended_domain_count; --jobs 1 is the legacy sequential
+   path) and collected in configuration order, so tables are byte-identical
+   for any --jobs. Next to each printed table the harness drops a
+   machine-readable BENCH_E<k>.json (parameters, stats, wall-clock) so the
+   perf trajectory can be tracked across PRs. *)
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [EXPERIMENT ...] [--jobs N] [--no-json]\n\
+     known experiments: %s\n%!"
+    (String.concat ", " (List.map fst Experiments.all));
+  exit 2
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_list f xs = "[" ^ String.concat ", " (List.map f xs) ^ "]"
+
+let write_json ~name ~jobs ~elapsed (tables : Harness.Report.captured list) =
+  let file = Printf.sprintf "BENCH_%s.json" (String.uppercase_ascii name) in
+  let table (t : Harness.Report.captured) =
+    Printf.sprintf
+      "{ \"title\": %s,\n      \"header\": %s,\n      \"rows\": %s }"
+      (json_string t.title)
+      (json_list json_string t.header)
+      (json_list (json_list json_string) t.rows)
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"experiment\": %s,\n  \"jobs\": %d,\n  \"wall_clock_s\": %.3f,\n\
+    \  \"tables\": [\n    %s\n  ]\n}\n"
+    (json_string name) jobs elapsed
+    (String.concat ",\n    " (List.map table tables));
+  close_out oc
 
 let () =
+  let requested = ref [] in
+  let jobs = ref (Parallel.Pool.default_jobs ()) in
+  let emit_json = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some j when j >= 1 -> jobs := j
+      | _ -> usage ());
+      parse rest
+    | "--no-json" :: rest ->
+      emit_json := false;
+      parse rest
+    | name :: rest when String.length name > 0 && name.[0] <> '-' ->
+      requested := String.lowercase_ascii name :: !requested;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
-    | _ -> List.map fst Experiments.all
+    match List.rev !requested with
+    | [] -> List.map fst Experiments.all
+    | names -> names
   in
   print_endline
     "Recoverable Mutual Exclusion Under System-Wide Failures — experiment \
@@ -13,16 +80,21 @@ let () =
   print_endline
     "(Golab & Hendler, PODC 2018; see DESIGN.md for the experiment index \
      and EXPERIMENTS.md for expected-vs-measured.)";
-  List.iter
-    (fun name ->
-      match List.assoc_opt name Experiments.all with
-      | Some run ->
-        let t0 = Unix.gettimeofday () in
-        run ();
-        Printf.printf "[%s finished in %.1fs]\n%!" name
-          (Unix.gettimeofday () -. t0)
-      | None ->
-        Printf.eprintf "unknown experiment %S (known: %s)\n%!" name
-          (String.concat ", " (List.map fst Experiments.all));
-        exit 1)
-    requested
+  Parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name Experiments.all with
+          | Some run ->
+            Harness.Report.reset_captured ();
+            let t0 = Unix.gettimeofday () in
+            run ~pool;
+            let elapsed = Unix.gettimeofday () -. t0 in
+            Printf.printf "[%s finished in %.1fs]\n%!" name elapsed;
+            if !emit_json then
+              write_json ~name ~jobs:!jobs ~elapsed
+                (Harness.Report.captured ())
+          | None ->
+            Printf.eprintf "unknown experiment %S (known: %s)\n%!" name
+              (String.concat ", " (List.map fst Experiments.all));
+            exit 1)
+        requested)

@@ -35,6 +35,16 @@ let stack_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (runs replay).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel execution (default: the \
+           recommended domain count). $(b,--jobs 1) is the exact legacy \
+           sequential path; results are identical for any N.")
+
 let passages_arg =
   Arg.(
     value & opt int 100
@@ -78,37 +88,58 @@ let run_cmd =
       value & opt int 10_000_000
       & info [ "max-steps" ] ~doc:"Hard step budget.")
   in
-  let run stack model n passages seed crash_mean bursty bias max_steps =
-    let base =
-      match bias with
-      | Some p -> Sim.Schedule.geometric_bias ~seed p
-      | None -> Sim.Schedule.uniform ~seed
-    in
-    let schedule =
-      match crash_mean with
-      | Some mean ->
-        Sim.Schedule.with_random_crashes ~seed:(seed + 1) ~mean ~bursty base
-      | None -> base
-    in
-    let report =
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:
+            "Run R independent replicas with seeds SEED..SEED+R-1 (on the \
+             --jobs pool) and print each report in seed order.")
+  in
+  let run stack model n passages seed crash_mean bursty bias max_steps jobs
+      replicas =
+    let one seed =
+      let base =
+        match bias with
+        | Some p -> Sim.Schedule.geometric_bias ~seed p
+        | None -> Sim.Schedule.uniform ~seed
+      in
+      let schedule =
+        match crash_mean with
+        | Some mean ->
+          Sim.Schedule.with_random_crashes ~seed:(seed + 1) ~mean ~bursty base
+        | None -> base
+      in
       Harness.Driver.run ~max_steps ~passages ~n ~model
         ~make:(fun mem -> Rme.Stack.recoverable mem stack)
         ~schedule ()
     in
-    Format.printf "%a@." Harness.Driver.pp_report report;
-    match Harness.Driver.check_clean report with
-    | Ok () ->
-      print_endline "clean";
-      0
-    | Error e ->
-      Printf.printf "NOT CLEAN: %s\n" e;
-      1
+    let finish report =
+      Format.printf "%a@." Harness.Driver.pp_report report;
+      match Harness.Driver.check_clean report with
+      | Ok () ->
+        print_endline "clean";
+        0
+      | Error e ->
+        Printf.printf "NOT CLEAN: %s\n" e;
+        1
+    in
+    if replicas <= 1 then finish (one seed) (* the legacy single-run path *)
+    else
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          let seeds = List.init replicas (fun i -> seed + i) in
+          let reports = Parallel.Pool.map pool one seeds in
+          List.fold_left2
+            (fun acc seed report ->
+              Printf.printf "--- seed %d ---\n" seed;
+              max acc (finish report))
+            0 seeds reports)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one configuration and print its report.")
     Term.(
       const run $ stack_arg $ model_arg $ n_arg $ passages_arg $ seed_arg
-      $ crash_mean $ bursty $ bias $ max_steps)
+      $ crash_mean $ bursty $ bias $ max_steps $ jobs_arg $ replicas)
 
 (* --- model-check --- *)
 
@@ -137,7 +168,7 @@ let model_check_cmd =
       & info [ "no-csr" ]
           ~doc:"Do not flag CSR violations (for stacks that do not claim it).")
   in
-  let run scenario stack model n dbound cbound max_runs passages no_csr =
+  let run scenario stack model n dbound cbound max_runs passages no_csr jobs =
     let sc =
       match scenario with
       | `Rme ->
@@ -149,7 +180,7 @@ let model_check_cmd =
     in
     let o =
       Harness.Model_check.explore ~divergence_bound:dbound ~crash_bound:cbound
-        ~max_runs sc
+        ~max_runs ~jobs sc
     in
     Format.printf "%a@." Harness.Model_check.pp_outcome o;
     if o.Harness.Model_check.violations = [] then 0 else 1
@@ -159,7 +190,7 @@ let model_check_cmd =
        ~doc:"Systematically explore schedules (and crash points).")
     Term.(
       const run $ scenario $ stack_arg $ model_arg $ n_arg $ dbound $ cbound
-      $ max_runs $ passages $ no_csr)
+      $ max_runs $ passages $ no_csr $ jobs_arg)
 
 (* --- trace --- *)
 

@@ -29,174 +29,284 @@ let crash_decision = 0
 (* A work item shares its parent run's trace array: replay [base.(0 ..
    cut - 1)], then [alt] (unless it is [no_alt]), then scheduler defaults.
    Sharing keeps the frontier's memory linear in the number of pending
-   items. *)
+   items — and, because the arrays are immutable once built, items can be
+   replayed on any domain. *)
 type item = { base : int array; cut : int; alt : int }
 
 let no_alt = min_int
 
 let max_recorded_violations = 20
 
+(* Everything one replayed run contributes to the outcome, as a pure
+   value: a run allocates its own [Memory]/[Runtime] and touches no state
+   outside this record, so runs may execute speculatively on worker
+   domains and be {e committed} later, in sequential DFS order. [children]
+   is in the exact order the sequential engine would have pushed them. *)
+type run_result = {
+  r_steps : int;
+  r_capped : bool;
+  r_deadlock : bool;
+  r_violations : string list;  (* in occurrence order *)
+  r_children : item list;  (* in push order *)
+}
+
+let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
+    ~max_steps { base; cut; alt } =
+  let local_violations = ref [] in
+  let violation msg = local_violations := msg :: !local_violations in
+  let mem = Memory.create ~model:scenario.model ~n:scenario.n in
+  let crash_hooks = ref [] in
+  let crash_one_hooks = ref [] in
+  let finish_hooks = ref [] in
+  let ctx =
+    {
+      violation;
+      on_crash = (fun h -> crash_hooks := h :: !crash_hooks);
+      on_crash_one = (fun h -> crash_one_hooks := h :: !crash_one_hooks);
+      on_finish = (fun h -> finish_hooks := h :: !finish_hooks);
+    }
+  in
+  let body = scenario.make_body mem ctx in
+  let rt = Runtime.create mem ~body in
+  List.iter (Runtime.on_crash rt) !crash_hooks;
+  let forced_len = if alt <> no_alt then cut + 1 else cut in
+  let forced i = if i < cut then base.(i) else alt in
+  (* The trace actually taken, and the positions at which alternatives
+     remain to be explored. *)
+  let taken = ref [] in
+  let choice_points = ref [] in
+  let cur = ref 0 in
+  let divergences = ref 0 in
+  let crashes = ref 0 in
+  let crash_ones = ref 0 in
+  let pos = ref 0 in
+  let steps = ref 0 in
+  let capped = ref false in
+  let deadlock = ref false in
+  (* [enabled] pids that were spin-blocked at the deadlock, for the
+     diagnostic and the crash_one branch victims. *)
+  let deadlock_enabled = ref [] in
+  (* Productive (= enabled and not spin-blocked) processes of the current
+     step, as a reusable bitmask (same layout as Memory's reader bitsets)
+     instead of a freshly allocated List.filter per step. *)
+  let pmask = Bitset.create scenario.n in
+  (* Run-until-blocked default: keep stepping the current process while
+     it is productive; on spin-block or completion, rotate to the next
+     productive process. Fair, and terminating for livelock-free
+     algorithms. *)
+  let default () =
+    if Bitset.mem pmask !cur then !cur
+    else
+      match Bitset.first_gt pmask !cur with
+      | Some pid -> pid
+      | None -> Option.get (Bitset.first pmask)
+  in
+  let rec loop () =
+    match Runtime.enabled rt with
+    | [] -> ()
+    | enabled ->
+      Bitset.clear pmask;
+      List.iter
+        (fun p -> if not (Runtime.blocked rt p) then Bitset.add pmask p)
+        enabled;
+      if Bitset.is_empty pmask then begin
+        (* Every runnable process is spinning on a condition no one can
+           ever change: a genuine deadlock (a crash would reset it, but
+           a failure-free suffix stays stuck — a liveness violation). *)
+        deadlock := true;
+        deadlock_enabled := enabled;
+        let where =
+          String.concat ", "
+            (List.map
+               (fun p ->
+                 Printf.sprintf "p%d@%s" p
+                   (Option.value ~default:"?" (Runtime.blocked_on rt p)))
+               enabled)
+        in
+        violation ("deadlock: " ^ where)
+      end
+      else if !pos >= max_steps then begin
+        capped := true;
+        violation "step cap exceeded (possible livelock)"
+      end
+      else begin
+        let default_pid = default () in
+        let decision = if !pos < forced_len then forced !pos else default_pid in
+        if !pos >= forced_len then
+          choice_points :=
+            (!pos, Bitset.snapshot pmask, default_pid, !divergences, !crashes,
+             !crash_ones)
+            :: !choice_points;
+        if decision = crash_decision then begin
+          incr crashes;
+          Runtime.crash rt ()
+        end
+        else if decision < 0 then begin
+          incr crash_ones;
+          let victim = -decision in
+          Runtime.crash_one rt victim;
+          List.iter (fun h -> h ~pid:victim) !crash_one_hooks
+        end
+        else begin
+          if decision <> default_pid then incr divergences;
+          Runtime.step rt decision;
+          cur := decision
+        end;
+        taken := decision :: !taken;
+        incr pos;
+        incr steps;
+        loop ()
+      end
+  in
+  loop ();
+  if not !capped then List.iter (fun h -> h ()) !finish_hooks;
+  (* Branch: preempting to another productive process costs divergence
+     budget; injecting a crash costs crash budget. Positions inside the
+     forced prefix were branched when their ancestors ran. The taken-trace
+     array is materialized once and shared by every child (it is never
+     mutated again). *)
+  let trace = Array.of_list (List.rev !taken) in
+  let children = ref [] in
+  let push it = children := it :: !children in
+  if !deadlock then begin
+    (* The deadlock was reached with the full trace taken, so the branch
+       position is the trace's length. *)
+    if !crashes < crash_bound then
+      push { base = trace; cut = !pos; alt = crash_decision };
+    if !crash_ones < crash_one_bound then
+      List.iter
+        (fun pid -> push { base = trace; cut = !pos; alt = -pid })
+        !deadlock_enabled
+  end;
+  List.iter
+    (fun (i, productive, default_pid, div_before, crashes_before,
+          crash_ones_before) ->
+      if div_before < divergence_bound then
+        Bitset.iter
+          (fun pid ->
+            if pid <> default_pid then push { base = trace; cut = i; alt = pid })
+          productive;
+      if crashes_before < crash_bound then
+        push { base = trace; cut = i; alt = crash_decision };
+      if crash_ones_before < crash_one_bound then
+        for pid = 1 to scenario.n do
+          push { base = trace; cut = i; alt = -pid }
+        done)
+    !choice_points;
+  {
+    r_steps = !steps;
+    r_capped = !capped;
+    r_deadlock = !deadlock;
+    r_violations = List.rev !local_violations;
+    r_children = List.rev !children;
+  }
+
+(* The search frontier, head = top of the DFS stack. In parallel mode an
+   entry may carry a speculative in-flight evaluation. *)
+type entry = { it : item; mutable fut : run_result Parallel.Pool.future option }
+
 let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     ?(max_steps = 20_000) ?(max_runs = 200_000) ?(stop_on_first = false)
-    scenario =
+    ?(jobs = 1) ?pool scenario =
+  let jobs =
+    match pool with Some p -> Parallel.Pool.jobs p | None -> max 1 jobs
+  in
+  let replay =
+    replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
+      ~max_steps
+  in
+  (* Commit state. Every run's contribution is folded in here, in the
+     order the sequential engine would have executed the runs, so the
+     outcome is identical for any [jobs]. Violations are deduplicated via
+     a hashed set (the recorded list stays in first-seen order). *)
   let runs = ref 0 in
   let steps = ref 0 in
   let violations = ref [] in
+  let violation_count = ref 0 in
+  let seen_violations = Hashtbl.create 32 in
   let step_cap_hits = ref 0 in
   let deadlocks = ref 0 in
   let record_violation msg =
     if
-      List.length !violations < max_recorded_violations
-      && not (List.mem msg !violations)
-    then violations := msg :: !violations
+      !violation_count < max_recorded_violations
+      && not (Hashtbl.mem seen_violations msg)
+    then begin
+      Hashtbl.add seen_violations msg ();
+      violations := msg :: !violations;
+      incr violation_count
+    end
   in
-  let work = Stack.create () in
-  Stack.push { base = [||]; cut = 0; alt = no_alt } work;
-  let run_one { base; cut; alt } =
+  let commit r =
     incr runs;
-    let mem = Memory.create ~model:scenario.model ~n:scenario.n in
-    let crash_hooks = ref [] in
-    let crash_one_hooks = ref [] in
-    let finish_hooks = ref [] in
-    let ctx =
-      {
-        violation = record_violation;
-        on_crash = (fun h -> crash_hooks := h :: !crash_hooks);
-        on_crash_one = (fun h -> crash_one_hooks := h :: !crash_one_hooks);
-        on_finish = (fun h -> finish_hooks := h :: !finish_hooks);
-      }
-    in
-    let body = scenario.make_body mem ctx in
-    let rt = Runtime.create mem ~body in
-    List.iter (Runtime.on_crash rt) !crash_hooks;
-    let forced_len = if alt <> no_alt then cut + 1 else cut in
-    let forced i = if i < cut then base.(i) else alt in
-    (* The trace actually taken, and the positions at which alternatives
-       remain to be explored. *)
-    let taken = ref [] in
-    let choice_points = ref [] in
-    let cur = ref 0 in
-    let divergences = ref 0 in
-    let crashes = ref 0 in
-    let crash_ones = ref 0 in
-    let pos = ref 0 in
-    let capped = ref false in
-    (* Run-until-blocked default: keep stepping the current process while
-       it is productive; on spin-block or completion, rotate to the next
-       productive process. Fair, and terminating for livelock-free
-       algorithms. *)
-    let default productive =
-      if List.mem !cur productive then !cur
-      else
-        match List.find_opt (fun pid -> pid > !cur) productive with
-        | Some pid -> pid
-        | None -> List.hd productive
-    in
-    let rec loop () =
-      match Runtime.enabled rt with
-      | [] -> ()
-      | enabled ->
-        let productive = List.filter (fun p -> not (Runtime.blocked rt p)) enabled in
-        if productive = [] then begin
-          (* Every runnable process is spinning on a condition no one can
-             ever change: a genuine deadlock (a crash would reset it, but
-             a failure-free suffix stays stuck — a liveness violation). *)
-          incr deadlocks;
-          let where =
-            String.concat ", "
-              (List.map
-                 (fun p ->
-                   Printf.sprintf "p%d@%s" p
-                     (Option.value ~default:"?" (Runtime.blocked_on rt p)))
-                 enabled)
-          in
-          record_violation ("deadlock: " ^ where);
-          if !crashes < crash_bound then
-            Stack.push
-              { base = Array.of_list (List.rev !taken); cut = !pos;
-                alt = crash_decision }
-              work;
-          if !crash_ones < crash_one_bound then
-            List.iter
-              (fun pid ->
-                Stack.push
-                  { base = Array.of_list (List.rev !taken); cut = !pos;
-                    alt = -pid }
-                  work)
-              enabled
-        end
-        else if !pos >= max_steps then begin
-          capped := true;
-          incr step_cap_hits;
-          record_violation "step cap exceeded (possible livelock)"
-        end
-        else begin
-          let default_pid = default productive in
-          let decision = if !pos < forced_len then forced !pos else default_pid in
-          if !pos >= forced_len then
-            choice_points :=
-              (!pos, productive, default_pid, !divergences, !crashes,
-               !crash_ones)
-              :: !choice_points;
-          if decision = crash_decision then begin
-            incr crashes;
-            Runtime.crash rt ()
-          end
-          else if decision < 0 then begin
-            incr crash_ones;
-            let victim = -decision in
-            Runtime.crash_one rt victim;
-            List.iter (fun h -> h ~pid:victim) !crash_one_hooks
-          end
-          else begin
-            if decision <> default_pid then incr divergences;
-            Runtime.step rt decision;
-            cur := decision
-          end;
-          taken := decision :: !taken;
-          incr pos;
-          incr steps;
-          loop ()
-        end
-    in
-    loop ();
-    if not !capped then List.iter (fun h -> h ()) !finish_hooks;
-    (* Branch: preempting to another productive process costs divergence
-       budget; injecting a crash costs crash budget. Positions inside the
-       forced prefix were branched when their ancestors ran. *)
-    let trace = Array.of_list (List.rev !taken) in
-    List.iter
-      (fun ( i,
-             productive,
-             default_pid,
-             div_before,
-             crashes_before,
-             crash_ones_before ) ->
-        if div_before < divergence_bound then
-          List.iter
-            (fun pid ->
-              if pid <> default_pid then
-                Stack.push { base = trace; cut = i; alt = pid } work)
-            productive;
-        if crashes_before < crash_bound then
-          Stack.push { base = trace; cut = i; alt = crash_decision } work;
-        if crash_ones_before < crash_one_bound then
-          for pid = 1 to scenario.n do
-            Stack.push { base = trace; cut = i; alt = -pid } work
-          done)
-      !choice_points
+    steps := !steps + r.r_steps;
+    if r.r_capped then incr step_cap_hits;
+    if r.r_deadlock then incr deadlocks;
+    List.iter record_violation r.r_violations;
+    r.r_children
   in
-  let stop () = stop_on_first && !violations <> [] in
-  while (not (Stack.is_empty work)) && !runs < max_runs && not (stop ()) do
-    run_one (Stack.pop work)
-  done;
+  let stop () = stop_on_first && !violation_count > 0 in
+  let root = { base = [||]; cut = 0; alt = no_alt } in
+  let stack = ref [ { it = root; fut = None } ] in
+  let pop_commit eval =
+    match !stack with
+    | [] -> assert false
+    | e :: rest ->
+      stack := rest;
+      let children = commit (eval e) in
+      stack :=
+        List.rev_append
+          (List.map (fun it -> { it; fut = None }) children)
+          !stack
+  in
+  let sequential () =
+    (* The legacy path: evaluate exactly the popped item, nothing else. *)
+    while !stack <> [] && !runs < max_runs && not (stop ()) do
+      pop_commit (fun e -> replay e.it)
+    done
+  in
+  let parallel pool =
+    (* Speculate on the top of the DFS stack: every pending entry will be
+       needed unless [max_runs] or [stop_on_first] cuts the search, so
+       evaluating a window of them concurrently wastes work only in that
+       tail. Results commit strictly in stack order. *)
+    let window = 4 * Parallel.Pool.jobs pool in
+    let schedule () =
+      let rec go k entries =
+        if k > 0 then
+          match entries with
+          | [] -> ()
+          | e :: tl ->
+            if e.fut = None then
+              e.fut <- Some (Parallel.Pool.async pool (fun () -> replay e.it));
+            go (k - 1) tl
+      in
+      go window !stack
+    in
+    while !stack <> [] && !runs < max_runs && not (stop ()) do
+      schedule ();
+      pop_commit (fun e ->
+          match e.fut with
+          | Some f -> Parallel.Pool.await f
+          | None -> replay e.it)
+    done;
+    (* Drop speculative work the cut made useless. *)
+    List.iter
+      (fun e -> Option.iter Parallel.Pool.cancel e.fut)
+      !stack
+  in
+  if jobs <= 1 then sequential ()
+  else begin
+    match pool with
+    | Some p -> parallel p
+    | None -> Parallel.Pool.with_pool ~jobs parallel
+  end;
   {
     runs = !runs;
     steps = !steps;
     violations = List.rev !violations;
     step_cap_hits = !step_cap_hits;
     deadlocks = !deadlocks;
-    truncated = not (Stack.is_empty work);
+    truncated = !stack <> [];
   }
 
 let pp_outcome ppf o =

@@ -62,6 +62,8 @@ val explore :
   ?max_steps:int ->
   ?max_runs:int ->
   ?stop_on_first:bool ->
+  ?jobs:int ->
+  ?pool:Parallel.Pool.t ->
   scenario ->
   outcome
 (** Defaults: [divergence_bound = 1], [crash_bound = 0],
@@ -72,6 +74,16 @@ val explore :
     [max_runs = 200_000], [stop_on_first = false] (when true, the search
     stops at the first recorded violation — useful for exhibiting a known
     bug cheaply).
+
+    [jobs] (default 1) replays schedules on a domain pool: pending work
+    items near the top of the DFS stack are evaluated speculatively in
+    parallel — each on its own [Memory]/[Runtime] — and their results are
+    {e committed} strictly in the sequential DFS order, so the outcome
+    (runs, steps, violations, deadlocks, truncation) is identical for any
+    [jobs], including under [max_runs] truncation and [stop_on_first].
+    Speculative runs past a cut are discarded. [jobs <= 1] takes the exact
+    legacy sequential path. [pool] reuses a caller-owned pool (its size
+    overrides [jobs]) instead of spawning a transient one.
 
     Caveat: the run-until-blocked default cannot cope with algorithms that
     busy-wait through raw retry loops instead of {!Sim.Proc.await} (e.g.

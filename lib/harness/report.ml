@@ -1,7 +1,19 @@
 let f1 x = Printf.sprintf "%.1f" x
 let i = string_of_int
 
+type captured = { title : string; header : string list; rows : string list list }
+
+(* Tables land here as a side effect of [table]; the bench harness drains
+   the list into BENCH_E<k>.json after each experiment. Only the main
+   domain prints tables (cells are computed on the pool, rendering is
+   not), so no locking is needed. *)
+let capture : captured list ref = ref []
+
+let reset_captured () = capture := []
+let captured () = List.rev !capture
+
 let table ~title ~header rows =
+  capture := { title; header; rows } :: !capture;
   let all = header :: rows in
   let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
   let width c =

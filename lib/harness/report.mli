@@ -1,9 +1,20 @@
 (** Plain-text table rendering for the benchmark harness (aligned columns,
     Markdown-ish separators), so every experiment prints rows the way the
-    paper's claims read. *)
+    paper's claims read — plus an in-memory capture of every table printed
+    since the last {!reset_captured}, so the harness can additionally emit
+    machine-readable [BENCH_E<k>.json] files for cross-PR perf tracking. *)
+
+type captured = { title : string; header : string list; rows : string list list }
 
 val table : title:string -> header:string list -> string list list -> unit
-(** Print a titled, column-aligned table to stdout. *)
+(** Print a titled, column-aligned table to stdout (and record it for
+    {!captured}). *)
+
+val reset_captured : unit -> unit
+(** Forget previously captured tables (call before each experiment). *)
+
+val captured : unit -> captured list
+(** Tables printed since the last {!reset_captured}, in print order. *)
 
 val f1 : float -> string
 (** Format a float with one decimal. *)

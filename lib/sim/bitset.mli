@@ -1,0 +1,32 @@
+(** Small mutable bitsets over process IDs [1..n] — the same word layout
+    as {!Memory}'s per-cell reader set, packaged for reuse by schedulers
+    and the model checker's per-step productive-process scan (which
+    previously re-allocated [List.filter]/[List.find_opt] chains on every
+    simulated step). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over [1..n]. *)
+
+val clear : t -> unit
+val add : t -> int -> unit
+val mem : t -> int -> bool
+(** False (rather than an error) for values outside [1..n], so callers can
+    probe with sentinels like "no current process". *)
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val first : t -> int option
+(** Smallest member. *)
+
+val first_gt : t -> int -> int option
+(** Smallest member strictly greater than the argument. *)
+
+val iter : (int -> unit) -> t -> unit
+(** In increasing order. *)
+
+val snapshot : t -> t
+(** An independent copy (for recording a choice point). *)

@@ -1,0 +1,203 @@
+(* Tests for the domain pool and for the determinism contract of parallel
+   model checking: [explore ~jobs:k] must return the exact same outcome as
+   the sequential path for any k — including under [max_runs] truncation
+   and [stop_on_first] cuts — and running a pool must not perturb an
+   unrelated simulation (the golden-trace property). *)
+
+open Sim
+open Testutil
+module Pool = Parallel.Pool
+module MC = Harness.Model_check
+
+(* --- pool --- *)
+
+let map_preserves_order () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let xs = List.init 100 Fun.id in
+          let ys = Pool.map pool (fun x -> (x * 7) + 1) xs in
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d" jobs)
+            (List.map (fun x -> (x * 7) + 1) xs)
+            ys))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let map_propagates_exceptions () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          match
+            Pool.map pool
+              (fun x -> if x mod 3 = 2 then raise (Boom x) else x)
+              (List.init 10 Fun.id)
+          with
+          | _ -> Alcotest.failf "jobs=%d: expected an exception" jobs
+          | exception Boom x ->
+            (* the first failure in submission order *)
+            Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) 2 x))
+    [ 1; 2; 4 ]
+
+let await_after_cancel_still_answers () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let futs = List.init 50 (fun i -> Pool.async pool (fun () -> i * i)) in
+      List.iter Pool.cancel futs;
+      (* cancel is best-effort; await must still produce the value *)
+      List.iteri
+        (fun i fut -> Alcotest.(check int) "value" (i * i) (Pool.await fut))
+        futs)
+
+let shutdown_is_idempotent () =
+  let pool = Pool.create ~jobs:3 in
+  let f = Pool.async pool (fun () -> 41 + 1) in
+  Alcotest.(check int) "result" 42 (Pool.await f);
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+(* --- explore determinism --- *)
+
+let rme ?(check_csr = true) stack n model =
+  Harness.Scenarios.rme ~check_csr ~n ~model
+    ~make:(fun mem -> Rme.Stack.recoverable mem stack)
+    ()
+
+(* The E9 scenario roster (smaller [max_runs] where exhaustive search is
+   slow, so the truncation path is exercised rather than avoided). *)
+let scenarios =
+  [
+    ( "barrier-n3-cc-d2",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:2
+          (Harness.Scenarios.barrier ~n:3 ~model:Memory.Cc ()) );
+    ( "barrier-n3-dsm-d2",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:2
+          (Harness.Scenarios.barrier ~n:3 ~model:Memory.Dsm ()) );
+    ( "barrier-n2-dsm-3epochs-d1c2",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:1 ~crash_bound:2 ~max_runs:4_000
+          (Harness.Scenarios.barrier ~epochs:3 ~n:2 ~model:Memory.Dsm ()) );
+    ( "barrier-sub-n3-dsm-d2",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:2
+          (Harness.Scenarios.barrier_sub ~n:3 ~model:Memory.Dsm ()) );
+    ( "t1-mcs-me-n3-d2c1",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:2 ~crash_bound:1 ~max_runs:3_000
+          (rme ~check_csr:false "t1-mcs" 3 Memory.Cc) );
+    ( "t1-mcs-csr-stop-on-first",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:2 ~crash_bound:1 ~stop_on_first:true
+          (rme "t1-mcs" 2 Memory.Cc) );
+    ( "t2-mcs-n2-dsm-d1c2",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:1 ~crash_bound:2 ~max_runs:4_000
+          (rme "t2-mcs" 2 Memory.Dsm) );
+    ( "t3-mcs-n3-cc-d1c1",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:1 ~crash_bound:1 ~max_runs:3_000
+          (rme "t3-mcs" 3 Memory.Cc) );
+    ( "t3-mcs-literal-stop-on-first",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:2 ~stop_on_first:true
+          (rme "t3-mcs-literal" 3 Memory.Cc) );
+    ( "fasas-clh-n2-co2",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:1 ~crash_one_bound:2
+          ~max_runs:4_000 (rme "rclh-fasas" 2 Memory.Cc) );
+    ( "t1-mcs-n2-co1-stop-on-first",
+      fun ~jobs ->
+        MC.explore ~jobs ~divergence_bound:0 ~crash_one_bound:1
+          ~stop_on_first:true (rme ~check_csr:false "t1-mcs" 2 Memory.Cc) );
+  ]
+
+let check_outcome name (expected : MC.outcome) (got : MC.outcome) =
+  Alcotest.(check int) (name ^ ": runs") expected.runs got.runs;
+  Alcotest.(check int) (name ^ ": steps") expected.steps got.steps;
+  Alcotest.(check (list string))
+    (name ^ ": violations")
+    expected.violations got.violations;
+  Alcotest.(check int)
+    (name ^ ": cap hits")
+    expected.step_cap_hits got.step_cap_hits;
+  Alcotest.(check int) (name ^ ": deadlocks") expected.deadlocks got.deadlocks;
+  Alcotest.(check bool) (name ^ ": truncated") expected.truncated got.truncated
+
+let explore_case (name, f) =
+  case name (fun () ->
+      let seq = f ~jobs:1 in
+      List.iter
+        (fun jobs ->
+          check_outcome (Printf.sprintf "%s jobs=%d" name jobs) seq
+            (f ~jobs))
+        [ 2; 4 ])
+
+(* A caller-owned pool reused across searches (the E9 configuration) must
+   behave like transient pools, including after a stop_on_first search
+   left cancelled speculation behind. *)
+let shared_pool_reuse () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (* A stop_on_first search leaves cancelled speculation behind... *)
+      let name1, f1 = List.nth scenarios 5 in
+      let got1 =
+        MC.explore ~pool ~divergence_bound:2 ~crash_bound:1
+          ~stop_on_first:true
+          (rme "t1-mcs" 2 Memory.Cc)
+      in
+      check_outcome (name1 ^ " shared-pool") (f1 ~jobs:1) got1;
+      (* ... after which the same pool must still serve a full search. *)
+      let name2, f2 = List.nth scenarios 7 in
+      let got2 =
+        MC.explore ~pool ~divergence_bound:1 ~crash_bound:1 ~max_runs:3_000
+          (rme "t3-mcs" 3 Memory.Cc)
+      in
+      check_outcome (name2 ^ " shared-pool") (f2 ~jobs:1) got2)
+
+(* The pool must not perturb an unrelated seeded simulation running on the
+   main domain (the property test_golden.ml pins at step granularity):
+   drive the same driver run with and without busy workers and compare
+   every deterministic field of the report. *)
+let golden_run_unperturbed_by_pool () =
+  let go () =
+    run_stack ~n:4 ~passages:20 ~seed:11 ~model:Memory.Cc "t1-mcs"
+  in
+  let quiet = go () in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let busy =
+        List.init 8 (fun i ->
+            Pool.async pool (fun () ->
+                (run_stack ~n:3 ~passages:10 ~seed:(100 + i)
+                   ~model:Memory.Dsm "t3-mcs")
+                  .Harness.Driver.total_steps))
+      in
+      let r = go () in
+      Alcotest.(check int)
+        "total steps" quiet.Harness.Driver.total_steps
+        r.Harness.Driver.total_steps;
+      Alcotest.(check int)
+        "total rmrs" quiet.Harness.Driver.total_rmrs
+        r.Harness.Driver.total_rmrs;
+      Alcotest.(check int)
+        "completions" quiet.Harness.Driver.cs_completions
+        r.Harness.Driver.cs_completions;
+      List.iter (fun f -> ignore (Pool.await f)) busy)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          case "map-order" map_preserves_order;
+          case "map-exceptions" map_propagates_exceptions;
+          case "cancel-then-await" await_after_cancel_still_answers;
+          case "shutdown-idempotent" shutdown_is_idempotent;
+        ] );
+      ("explore-determinism", List.map explore_case scenarios);
+      ( "isolation",
+        [
+          case "shared-pool-reuse" shared_pool_reuse;
+          case "golden-unperturbed" golden_run_unperturbed_by_pool;
+        ] );
+    ]
