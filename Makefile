@@ -1,7 +1,7 @@
 # Tier-1 verification plus the parallel-engine smoke test. `make ci` is
 # what .github/workflows/ci.yml runs; keep the two in sync.
 
-.PHONY: all build test bench-smoke ci clean
+.PHONY: all build test differential bench-smoke e10-smoke ci clean
 
 all: build
 
@@ -11,6 +11,13 @@ build:
 test: build
 	dune runtest
 
+# The two-substrate gate on its own: registry parity plus the same seeded
+# crash storm through the simulated and the native instantiation of the
+# shared transcriptions (also part of `make test`; split out so CI reports
+# it as a distinct step).
+differential: build
+	dune exec test/test_differential.exe
+
 # E1 exercises the sweep fan-out, E9 the parallel model checker, both on a
 # 2-worker pool. Any safety violation (assert_ok) or E9 expectation
 # mismatch (a clean row reporting a violation, or a known-negative row
@@ -18,7 +25,12 @@ test: build
 bench-smoke: build
 	dune exec bench/main.exe -- e1 e9 --jobs 2 --no-json
 
-ci: build test bench-smoke
+# E10 across the full native registry at reduced iterations: a monitor
+# violation in any native stack fails the run (Workers.check_clean).
+e10-smoke: build
+	dune exec bench/main.exe -- e10 --quick --no-json
+
+ci: build test differential bench-smoke e10-smoke
 
 clean:
 	dune clean

@@ -13,6 +13,11 @@ module Pool = Parallel.Pool
 
 let sweep_ns = [ 2; 4; 8; 16; 32; 48 ]
 
+(* CI smoke mode (main.exe --quick): shrink iteration counts so E10 runs in
+   seconds on a shared runner. Tables keep their shape; only the sampling
+   budget drops, so the JSON schema is identical to a full run. *)
+let quick = ref false
+
 (* Every cell of every table below is a fully independent, seeded
    simulator run, so each experiment fans its (lock, N, seed, model)
    configurations out over the domain pool and collects cells back {e in
@@ -570,7 +575,11 @@ let native_uncontended_bechamel () =
     Test.make_grouped ~name:"uncontended"
       (stdlib_mutex :: List.map native_test Rme_native.Stack.recoverable_names)
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !quick then 0.05 else 0.5))
+      ()
+  in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -596,10 +605,11 @@ let native_uncontended_bechamel () =
     rows
 
 let native_contended () =
+  let passages_total = if !quick then 20_000 else 200_000 in
   let row ?crash_interval ~n name =
     let r =
       Rme_native.Workers.run ?crash_interval ~max_crashes:30 ~n
-        ~passages:(200_000 / n)
+        ~passages:(passages_total / n)
         ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n name)
         ()
     in
@@ -617,30 +627,28 @@ let native_contended () =
       string_of_int r.Rme_native.Workers.csr_reentries;
     ]
   in
+  let registry = Rme_native.Stack.recoverable_names in
   Report.table
     ~title:
       (Printf.sprintf
-         "E10b: native throughput, 200k passages total (machine has %d \
-          core(s); on an oversubscribed machine each contended FIFO \
-          hand-off costs OS context switches, and crashes reset the queue \
-          — interpret contended rows as scheduler behaviour, not lock \
-          quality)"
+         "E10b: native throughput over the full native registry, %dk \
+          passages total (machine has %d core(s); on an oversubscribed \
+          machine each contended FIFO hand-off costs OS context switches, \
+          and crashes reset the queue — interpret contended rows as \
+          scheduler behaviour, not lock quality)"
+         (passages_total / 1000)
          (Domain.recommended_domain_count ()))
     ~header:
       [
         "stack"; "workers"; "crash interval"; "crashes"; "M passages/s";
         "CSR re-entries";
       ]
-    [
-      row ~n:1 "t1-mcs";
-      row ~n:1 "t3-mcs";
-      row ~n:4 "t1-mcs";
-      row ~n:4 "t2-mcs";
-      row ~n:4 "t3-mcs";
-      row ~n:4 ~crash_interval:0.001 "t1-mcs";
-      row ~n:4 ~crash_interval:0.001 "t2-mcs";
-      row ~n:4 ~crash_interval:0.001 "t3-mcs";
-    ]
+    (List.concat
+       [
+         [ row ~n:1 "t1-mcs"; row ~n:1 "t3-mcs" ];
+         List.map (fun name -> row ~n:4 name) registry;
+         List.map (fun name -> row ~n:4 ~crash_interval:0.001 name) registry;
+       ])
 
 (* E10 deliberately ignores the pool: it spawns its own worker domains
    and measures wall-clock, so sharing cores with bench workers would

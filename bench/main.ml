@@ -9,7 +9,7 @@
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [EXPERIMENT ...] [--jobs N] [--no-json]\n\
+    "usage: main.exe [EXPERIMENT ...] [--jobs N] [--no-json] [--quick]\n\
      known experiments: %s\n%!"
     (String.concat ", " (List.map fst Experiments.all));
   exit 2
@@ -62,6 +62,9 @@ let () =
       parse rest
     | "--no-json" :: rest ->
       emit_json := false;
+      parse rest
+    | "--quick" :: rest ->
+      Experiments.quick := true;
       parse rest
     | name :: rest when String.length name > 0 && name.[0] <> '-' ->
       requested := String.lowercase_ascii name :: !requested;

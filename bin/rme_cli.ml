@@ -264,37 +264,61 @@ let native_cmd =
       value & opt (some float) None
       & info [ "crash-interval" ] ~doc:"Crash interval in milliseconds.")
   in
-  let distributed =
+  let replicas =
     Arg.(
-      value & flag
-      & info [ "distributed-barrier" ]
-          ~doc:"Use the full DSM barrier machinery instead of the spin path.")
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:
+            "Run R replicas with crash-schedule seeds SEED..SEED+R-1 (on \
+             the --jobs pool) and print each report in seed order.")
   in
-  let run stack n passages crash_interval distributed =
-    let variant = if distributed then `Distributed else `Spin in
-    let r =
-      Rme_native.Workers.run
-        ?crash_interval:(Option.map (fun ms -> ms /. 1000.) crash_interval)
-        ~n ~passages
-        ~make:(fun crash ~n ->
-          Rme_native.Stack.recoverable ~variant crash ~n stack)
-        ()
-    in
-    Format.printf "%a@." Rme_native.Workers.pp_result r;
-    match Rme_native.Workers.check_clean r with
-    | Ok () ->
-      print_endline "clean";
-      0
-    | Error e ->
-      Printf.printf "NOT CLEAN: %s\n" e;
+  let run stack model n passages seed crash_interval jobs replicas =
+    if not (List.mem stack Rme_native.Stack.recoverable_names) then begin
+      Printf.eprintf "unknown native stack %S; available: %s\n" stack
+        (String.concat ", " Rme_native.Stack.recoverable_names);
       1
+    end
+    else begin
+      let one seed =
+        Rme_native.Workers.run
+          ?crash_interval:(Option.map (fun ms -> ms /. 1000.) crash_interval)
+          ~seed ~n ~passages
+          ~make:(fun crash ~n ->
+            Rme_native.Stack.recoverable ~model crash ~n stack)
+          ()
+      in
+      let finish r =
+        Format.printf "%a@." Rme_native.Workers.pp_result r;
+        match Rme_native.Workers.check_clean r with
+        | Ok () ->
+          print_endline "clean";
+          0
+        | Error e ->
+          Printf.printf "NOT CLEAN: %s\n" e;
+          1
+      in
+      if replicas <= 1 then finish (one seed)
+      else
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            let seeds = List.init replicas (fun i -> seed + i) in
+            let reports = Parallel.Pool.map pool one seeds in
+            List.fold_left2
+              (fun acc seed report ->
+                Printf.printf "--- seed %d ---\n" seed;
+                max acc (finish report))
+              0 seeds reports)
+    end
   in
   Cmd.v
     (Cmd.info "native"
-       ~doc:"Stress a native (Atomic/Domain) stack with real concurrency.")
+       ~doc:
+         "Stress a native (Atomic/Domain) stack with real concurrency. \
+          Stacks come from the native registry (same names as the \
+          simulated one; see $(b,rme list)); --model dsm exercises the \
+          distributed-barrier machinery of Fig. 2.")
     Term.(
-      const run $ stack_arg $ n_arg $ passages_arg $ crash_interval
-      $ distributed)
+      const run $ stack_arg $ model_arg $ n_arg $ passages_arg $ seed_arg
+      $ crash_interval $ jobs_arg $ replicas)
 
 let () =
   let doc =

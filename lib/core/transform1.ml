@@ -1,32 +1,43 @@
 open Sim
 
-let make ?fast_path mem ~base =
-  let name = "t1(" ^ base.Locks.Lock_intf.name ^ ")" in
-  let c = Memory.global mem ~name:(name ^ ".C") 0 in
-  let barrier = Barrier.create ?fast_path mem ~name:(name ^ ".bar") in
-  (* Recover, Fig. 3 lines 62-72. *)
-  let recover ~pid ~epoch =
-    let cur = Proc.read c in
-    if -epoch < cur && cur < epoch then begin
-      (* A failure happened since C was last brought up to date (or the
-         previous epoch's recovery was itself interrupted): elect the
-         process that will reset the base. *)
-      let ret = Proc.cas c ~expect:cur ~repl:(-epoch) in
-      if ret = cur then begin
-        base.Locks.Lock_intf.reset ~pid;
-        Proc.write c epoch;
-        Barrier.enter barrier ~pid ~epoch ~leader:true
+(** Transformation 1 (Fig. 3, Theorems 4.1, 4.8): conventional mutex →
+    recoverable mutex under system-wide failures. The single transcription,
+    functorized over {!Sim.Backend_intf.S}; the base mutex is any
+    {!Locks.Lock_intf.mutex} built over the same backend. *)
+
+module Make (B : Backend_intf.S) = struct
+  module Bar = Barrier.Make (B)
+
+  let make ?fast_path mem ~(base : Locks.Lock_intf.mutex) =
+    let name = "t1(" ^ base.Locks.Lock_intf.name ^ ")" in
+    let c = B.global mem ~name:(name ^ ".C") 0 in
+    let barrier = Bar.create ?fast_path mem ~name:(name ^ ".bar") in
+    (* Recover, Fig. 3 lines 62-72. *)
+    let recover ~pid ~epoch =
+      let cur = B.read c in
+      if -epoch < cur && cur < epoch then begin
+        (* A failure happened since C was last brought up to date (or the
+           previous epoch's recovery was itself interrupted): elect the
+           process that will reset the base. *)
+        let ret = B.cas c ~expect:cur ~repl:(-epoch) in
+        if ret = cur then begin
+          base.Locks.Lock_intf.reset ~pid;
+          B.write c epoch;
+          Bar.enter barrier ~pid ~epoch ~leader:true
+        end
+        else Bar.enter barrier ~pid ~epoch ~leader:false
       end
-      else Barrier.enter barrier ~pid ~epoch ~leader:false
-    end
-    else if cur = -epoch then
-      (* Recovery already in progress in this epoch: wait for its leader. *)
-      Barrier.enter barrier ~pid ~epoch ~leader:false
-    (* else cur = epoch: steady state, nothing to repair. *)
-  in
-  {
-    Rme_intf.name;
-    recover;
-    enter = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.enter ~pid);
-    exit = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.exit ~pid);
-  }
+      else if cur = -epoch then
+        (* Recovery already in progress in this epoch: wait for its leader. *)
+        Bar.enter barrier ~pid ~epoch ~leader:false
+      (* else cur = epoch: steady state, nothing to repair. *)
+    in
+    {
+      Rme_intf.name;
+      recover;
+      enter = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.enter ~pid);
+      exit = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.exit ~pid);
+    }
+end
+
+include Make (Backend)

@@ -1,24 +1,33 @@
 open Sim
 
-let make mem ~base =
-  let name = "t1spin(" ^ base.Locks.Lock_intf.name ^ ")" in
-  let c = Memory.global mem ~name:(name ^ ".C") 0 in
-  let recover ~pid ~epoch =
-    let cur = Proc.read c in
-    if -epoch < cur && cur < epoch then begin
-      let ret = Proc.cas c ~expect:cur ~repl:(-epoch) in
-      if ret = cur then begin
-        base.Locks.Lock_intf.reset ~pid;
-        Proc.write c epoch
+(** Ablation of Transformation 1 for E7(b): the recovery gate is a global
+    spin on [C] instead of the Fig. 2 barrier, so a non-leader's recovery
+    costs RMRs proportional to the spin length in the DSM model (the
+    barrier makes it O(1)). Functorized over {!Sim.Backend_intf.S}. *)
+
+module Make (B : Backend_intf.S) = struct
+  let make mem ~(base : Locks.Lock_intf.mutex) =
+    let name = "t1spin(" ^ base.Locks.Lock_intf.name ^ ")" in
+    let c = B.global mem ~name:(name ^ ".C") 0 in
+    let recover ~pid ~epoch =
+      let cur = B.read c in
+      if -epoch < cur && cur < epoch then begin
+        let ret = B.cas c ~expect:cur ~repl:(-epoch) in
+        if ret = cur then begin
+          base.Locks.Lock_intf.reset ~pid;
+          B.write c epoch
+        end
+        else ignore (B.await mem c ~until:(fun v -> v = epoch))
       end
-      else ignore (Proc.await c ~until:(fun v -> v = epoch))
-    end
-    else if cur = -epoch then
-      ignore (Proc.await c ~until:(fun v -> v = epoch))
-  in
-  {
-    Rme_intf.name;
-    recover;
-    enter = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.enter ~pid);
-    exit = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.exit ~pid);
-  }
+      else if cur = -epoch then
+        ignore (B.await mem c ~until:(fun v -> v = epoch))
+    in
+    {
+      Rme_intf.name;
+      recover;
+      enter = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.enter ~pid);
+      exit = (fun ~pid ~epoch:_ -> base.Locks.Lock_intf.exit ~pid);
+    }
+end
+
+include Make (Backend)

@@ -7,6 +7,14 @@
     on its own locally-homed flag. FIFO, hence starvation-free. Resetting it
     to the initial state is a single write ([tail := nil]) because entering
     processes re-initialize their own queue nodes — this is what makes
-    f(B) = O(1) in Theorem 4.1. *)
+    f(B) = O(1) in Theorem 4.1.
+
+    Transcribed once as {!Make}, the base-lock exemplar of the
+    backend-functorized algorithm layer; [make] is the simulated
+    instantiation. *)
+
+module Make (B : Sim.Backend_intf.S) : sig
+  val make : B.mem -> Lock_intf.mutex
+end
 
 val make : Sim.Memory.t -> Lock_intf.mutex

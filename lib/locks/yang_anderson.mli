@@ -8,6 +8,10 @@
     Each tree node runs the Yang–Anderson two-process lock; process [p]
     spins only on its own per-level flag [P[p][l]] (homed at [p]). Used as
     the logarithmic baseline in experiments E1–E3, both bare and wrapped by
-    Transformation 1. *)
+    Transformation 1 (natively too, via {!Make} over the native backend). *)
+
+module Make (B : Sim.Backend_intf.S) : sig
+  val make : B.mem -> Lock_intf.mutex
+end
 
 val make : Sim.Memory.t -> Lock_intf.mutex

@@ -1,0 +1,49 @@
+(** The native instantiation of {!Sim.Backend_intf.S}: cells are OCaml 5
+    [Atomic]s (CAS through the old-value-returning {!Natomic.cas}, per the
+    paper's convention), and [await] polls the stop-the-world crash flag
+    via {!Crash.spin_until} — a waiter whose grantor crashed unwinds with
+    {!Crash.Crashed} instead of hanging, which is what makes the failure
+    system-wide on real domains.
+
+    Cell names and DSM homes are accepted and ignored: RMR accounting is a
+    model-level notion the simulator implements; natively the hardware
+    decides. [model] selects which of the paper's model-dependent paths
+    runs (Fig. 2's Barrier): [Cc] — the default, the natural global spin
+    on cache-coherent hardware — or [Dsm], the full distributed
+    secondary-leader machinery, worth running natively as a differential
+    test of the paper's most intricate code against real interleavings. *)
+
+type mem = { crash : Crash.t; n : int; model : Sim.Memory.model }
+
+type cell = int Atomic.t
+
+let create ?(model = Sim.Memory.Cc) crash ~n = { crash; n; model }
+
+let crash_of m = m.crash
+
+let n m = m.n
+
+let model m = m.model
+
+let cell _m ~name:_ ~home:_ init = Atomic.make init
+
+let global _m ~name:_ init = Atomic.make init
+
+let read = Atomic.get
+
+let write = Atomic.set
+
+let cas = Natomic.cas
+
+let cas_success = Natomic.cas_success
+
+let fas = Natomic.fas
+
+let faa = Natomic.faa
+
+let await m c ~until =
+  let last = ref (Atomic.get c) in
+  Crash.spin_until m.crash (fun () ->
+      last := Atomic.get c;
+      until !last);
+  !last

@@ -1,18 +1,23 @@
-(** Native counterparts of the simulated lock interfaces: conventional
-    mutexes (with a sequential [reset] for Transformation 1) and
-    recoverable mutexes taking the crash-harness epoch. All spin loops in
-    implementations must poll the crash flag via {!Crash.spin_until}; a
-    waiter whose grantor crashed would otherwise hang, since unlike the
-    simulator the harness cannot destroy a spinning domain. *)
+(** Native lock interfaces. Since the algorithm layer is transcribed once
+    and functorized over the shared-memory backend, the native substrate
+    shares the {e same} record types as the simulator: a conventional
+    mutex is {!Locks.Lock_intf.mutex} and a recoverable mutex is
+    {!Rme.Rme_intf.rme} (re-exported here so native code keeps reading
+    [Intf.mutex] / [Intf.rme]). All spin loops in native implementations
+    must poll the crash flag via {!Crash.spin_until} — the backend's
+    [await] does — because unlike the simulator the harness cannot destroy
+    a spinning domain. *)
 
-type mutex = {
+type mutex = Locks.Lock_intf.mutex = {
   name : string;
   enter : pid:int -> unit;
   exit : pid:int -> unit;
-  reset : unit -> unit;
+  reset : pid:int -> unit;
+      (** Sequential; executed by the recovery leader while no other
+          process accesses the lock (Lemma 4.2). *)
 }
 
-type rme = {
+type rme = Rme.Rme_intf.rme = {
   name : string;
   recover : pid:int -> epoch:int -> unit;
   enter : pid:int -> epoch:int -> unit;

@@ -1,5 +1,9 @@
 (** Native test-and-set, test-and-test-and-set and ticket locks — the
-    conventional baselines for the throughput benches (experiment E10). *)
+    conventional baselines for the throughput benches (experiment E10).
+    These are {e not} paper figures, so they are written directly against
+    [Atomic] rather than through the backend functor layer (their
+    simulated counterparts in [lib/locks] are independent transcriptions
+    of the classic algorithms). *)
 
 let tas crash ~n:_ =
   let flag = Atomic.make 0 in
@@ -10,7 +14,7 @@ let tas crash ~n:_ =
         Crash.spin_until crash (fun () ->
             Natomic.cas_success flag ~expect:0 ~repl:1));
     exit = (fun ~pid:_ -> Atomic.set flag 0);
-    reset = (fun () -> Atomic.set flag 0);
+    reset = (fun ~pid:_ -> Atomic.set flag 0);
   }
 
 let ttas crash ~n:_ =
@@ -22,7 +26,7 @@ let ttas crash ~n:_ =
         Crash.spin_until crash (fun () ->
             Atomic.get flag = 0 && Natomic.cas_success flag ~expect:0 ~repl:1));
     exit = (fun ~pid:_ -> Atomic.set flag 0);
-    reset = (fun () -> Atomic.set flag 0);
+    reset = (fun ~pid:_ -> Atomic.set flag 0);
   }
 
 let ticket crash ~n =
@@ -38,7 +42,7 @@ let ticket crash ~n =
         Crash.spin_until crash (fun () -> Atomic.get serving = t));
     exit = (fun ~pid -> Atomic.set serving (my_ticket.(pid) + 1));
     reset =
-      (fun () ->
+      (fun ~pid:_ ->
         Atomic.set next 0;
         Atomic.set serving 0;
         Array.fill my_ticket 0 (n + 1) 0);

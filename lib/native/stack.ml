@@ -1,26 +1,63 @@
-(** Pre-assembled native lock stacks, mirroring {!Rme.Stack}. *)
+(** Pre-assembled native lock stacks: the {e same} single transcriptions
+    as {!Rme.Stack} (the lib/core and lib/locks functors), instantiated
+    over the native {!Backend} instead of the simulator. Registry keys
+    match the simulated registry one-for-one — [test/test_differential.ml]
+    asserts the parity, so a future lock cannot be added to one side
+    only. *)
 
-let conventional crash ~n which : Intf.mutex =
-  match which with
-  | "mcs" -> Mcs.make crash ~n
-  | "tas" -> Simple.tas crash ~n
-  | "ttas" -> Simple.ttas crash ~n
-  | "ticket" -> Simple.ticket crash ~n
-  | other -> invalid_arg ("Stack.conventional: unknown lock " ^ other)
+module Mcs = Locks.Mcs.Make (Backend)
+module Ya = Locks.Yang_anderson.Make (Backend)
+module T1 = Rme.Transform1.Make (Backend)
+module T1_spin = Rme.Transform1_spin.Make (Backend)
+module T23 = Rme.Transform23.Make (Backend)
 
-let conventional_names = [ "mcs"; "tas"; "ttas"; "ticket" ]
+let conventional_table : (string * (Backend.mem -> Intf.mutex)) list =
+  [
+    ("mcs", Mcs.make);
+    ("ya", Ya.make);
+    ("tas", fun m -> Simple.tas (Backend.crash_of m) ~n:(Backend.n m));
+    ("ttas", fun m -> Simple.ttas (Backend.crash_of m) ~n:(Backend.n m));
+    ("ticket", fun m -> Simple.ticket (Backend.crash_of m) ~n:(Backend.n m));
+  ]
 
-let recoverable ?variant crash ~n which : Intf.rme =
-  let t1 base = Transform1.make ?variant crash ~n ~base in
-  match which with
-  | "t1-mcs" -> t1 (Mcs.make crash ~n)
-  | "t1-ticket" -> t1 (Simple.ticket crash ~n)
-  | "t2-mcs" ->
-    Transform23.make ?variant ~helping:false crash ~n
-      ~base:(t1 (Mcs.make crash ~n))
-  | "t3-mcs" ->
-    Transform23.make ?variant ~helping:true crash ~n
-      ~base:(t1 (Mcs.make crash ~n))
-  | other -> invalid_arg ("Stack.recoverable: unknown stack " ^ other)
+let conventional_names = List.map fst conventional_table
 
-let recoverable_names = [ "t1-mcs"; "t1-ticket"; "t2-mcs"; "t3-mcs" ]
+let conventional ?model crash ~n which : Intf.mutex =
+  let mem = Backend.create ?model crash ~n in
+  match List.assoc_opt which conventional_table with
+  | Some make -> make mem
+  | None -> invalid_arg ("Stack.conventional: unknown lock " ^ which)
+
+let recoverable_table : (string * (Backend.mem -> Intf.rme)) list =
+  let ticket m = Simple.ticket (Backend.crash_of m) ~n:(Backend.n m) in
+  let t1_mcs mem = T1.make mem ~base:(Mcs.make mem) in
+  let t1_mcs_nofast mem = T1.make ~fast_path:false mem ~base:(Mcs.make mem) in
+  [
+    ("t1-mcs", t1_mcs);
+    ("t1-ya", fun mem -> T1.make mem ~base:(Ya.make mem));
+    ("t1-ticket", fun mem -> T1.make mem ~base:(ticket mem));
+    ("t2-mcs", fun mem -> T23.csr mem ~base:(t1_mcs mem));
+    ("t3-mcs", fun mem -> T23.csr_frf mem ~base:(t1_mcs mem));
+    ("frf-mcs", fun mem -> T23.frf_only mem ~base:(t1_mcs mem));
+    ("t1spin-mcs", fun mem -> T1_spin.make mem ~base:(Mcs.make mem));
+    ("t1-mcs-nofast", t1_mcs_nofast);
+    ( "t3-mcs-nofast",
+      fun mem -> T23.csr_frf ~fast_path:false mem ~base:(t1_mcs_nofast mem) );
+  ]
+
+let recoverable_names = List.map fst recoverable_table
+
+(* The simulated-registry names this registry claims to port. Every native
+   stack is an instantiation of the same transcription the simulated
+   registry builds, so the claim is total; the parity test pins it.
+   (Sim-only residents stay sim-only deliberately: [t3-mcs-literal] has a
+   genuine — model-checker-reproducible — failure-free deadlock that would
+   wedge a native domain, and [rclh-fasas]/[rtas] are the comparison class
+   outside the paper's construction.) *)
+let ported_names = recoverable_names @ conventional_names
+
+let recoverable ?model crash ~n which : Intf.rme =
+  let mem = Backend.create ?model crash ~n in
+  match List.assoc_opt which recoverable_table with
+  | Some make -> make mem
+  | None -> invalid_arg ("Stack.recoverable: unknown stack " ^ which)

@@ -1,14 +1,29 @@
-(** Pre-assembled native lock stacks, mirroring {!Rme.Stack}. *)
+(** Pre-assembled native lock stacks: instantiations of the single
+    (simulator-shared) algorithm transcriptions over the native
+    {!Backend}. [?model] selects the barrier path of Fig. 2 —
+    [Sim.Memory.Cc] (default) is the global spin natural on
+    cache-coherent hardware, [Sim.Memory.Dsm] exercises the full
+    distributed secondary-leader machinery as a differential stress of
+    the paper's most intricate code. *)
 
-val conventional : Crash.t -> n:int -> string -> Intf.mutex
-(** ["mcs"], ["tas"], ["ttas"] or ["ticket"].
+val conventional :
+  ?model:Sim.Memory.model -> Crash.t -> n:int -> string -> Intf.mutex
+(** By registry name; see {!conventional_names}.
     @raise Invalid_argument on unknown names. *)
 
 val conventional_names : string list
 
 val recoverable :
-  ?variant:Barrier.variant -> Crash.t -> n:int -> string -> Intf.rme
-(** ["t1-mcs"], ["t1-ticket"], ["t2-mcs"] or ["t3-mcs"].
+  ?model:Sim.Memory.model -> Crash.t -> n:int -> string -> Intf.rme
+(** By registry name; see {!recoverable_names}. Includes the full
+    transformation stacks ([t3-mcs] = t3(t2(t1(mcs)))), the FRF-only
+    variant ([frf-mcs]), T1 over the Θ(log N) baseline ([t1-ya]) and the
+    E7 ablations ([t1spin-mcs], [*-nofast]).
     @raise Invalid_argument on unknown names. *)
 
 val recoverable_names : string list
+
+val ported_names : string list
+(** The {!Rme.Stack} registry names this native registry claims to port
+    (recoverable and conventional). [test/test_differential.ml] asserts
+    that every claimed name exists in {e both} registries. *)

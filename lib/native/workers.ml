@@ -11,8 +11,8 @@ type result = {
   elapsed : float;
 }
 
-let run ?crash_interval ?(max_crashes = 50) ?(csr_poll = true) ~n ~passages
-    ~make () =
+let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true) ~n
+    ~passages ~make () =
   let crash = Crash.create ~n in
   let lock = make crash ~n in
   let completed = Array.init (n + 1) (fun _ -> Atomic.make 0) in
@@ -74,13 +74,23 @@ let run ?crash_interval ?(max_crashes = 50) ?(csr_poll = true) ~n ~passages
   (match crash_interval with
   | None -> ()
   | Some dt ->
+    (* With a seed, jitter each interval over [dt/2, 3dt/2): the crash
+       *schedule* replays for a given seed (the execution underneath is
+       still real concurrency — this pins where in wall-time the storms
+       strike, not the interleaving). *)
+    let rng = Option.map (fun s -> Random.State.make [| s |]) seed in
+    let interval () =
+      match rng with
+      | None -> dt
+      | Some st -> dt *. (0.5 +. Random.State.float st 1.0)
+    in
     let unfinished () =
       Array.exists
         (fun c -> Atomic.get c < passages)
         (Array.sub completed 1 n)
     in
     while unfinished () && !crashes < max_crashes do
-      Unix.sleepf dt;
+      Unix.sleepf (interval ());
       if unfinished () && !crashes < max_crashes then begin
         Crash.crash crash;
         incr crashes

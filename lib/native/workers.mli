@@ -21,6 +21,7 @@ type result = {
 val run :
   ?crash_interval:float ->
   ?max_crashes:int ->
+  ?seed:int ->
   ?csr_poll:bool ->
   n:int ->
   passages:int ->
@@ -29,7 +30,10 @@ val run :
   result
 (** [run ~n ~passages ~make ()] spawns [n] worker domains, each executing
     [passages] passages. [crash_interval] (seconds) arms the crash
-    controller; [max_crashes] (default 50) bounds it. [csr_poll] (default
+    controller; [max_crashes] (default 50) bounds it. [seed] makes the
+    controller jitter each interval over [dt/2, 3dt/2) with a seeded PRNG,
+    so the crash {e schedule} replays for a given seed (the interleaving
+    underneath is still real hardware concurrency). [csr_poll] (default
     true) inserts a crash poll point {e inside} the critical section so
     crashed-in-CS recovery is actually exercised. *)
 

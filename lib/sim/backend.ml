@@ -1,0 +1,33 @@
+(** The simulated instantiation of {!Backend_intf.S}: cells are {!Memory}
+    cells, every operation is a {!Proc} effect (one scheduling point,
+    RMR-charged per the CC/DSM accounting), and [await] declares the spin
+    to the runtime so schedulers and the model checker see blocked
+    processes. This is the backend under which every algorithm functor
+    replays byte-identically to the historical direct-[Proc]
+    transcriptions (pinned by [test/test_golden.ml]). *)
+
+type mem = Memory.t
+
+type cell = Memory.cell
+
+let n = Memory.n
+
+let model = Memory.model
+
+let cell = Memory.cell
+
+let global = Memory.global
+
+let read = Proc.read
+
+let write = Proc.write
+
+let cas = Proc.cas
+
+let cas_success = Proc.cas_success
+
+let fas = Proc.fas
+
+let faa = Proc.faa
+
+let await _mem c ~until = Proc.await c ~until

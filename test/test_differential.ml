@@ -1,0 +1,108 @@
+(* Differential tests for the two-substrate refactor: the same algorithm
+   transcription (lib/core + lib/locks functors) instantiated over the
+   simulator backend and over the native Atomic/Domain backend.
+
+   Group "registry" pins the parity contract: every name the native
+   registry claims to port exists in the simulated registry, so a lock
+   cannot quietly be added to one side only. Group "storm" pushes the
+   same seeded crash-storm scenario through both substrates of the full
+   stacks and demands the same monitor verdicts — zero violations and
+   full passage completion on both. *)
+
+open Testutil
+
+(* --- registry parity --- *)
+
+let native_names_exist_in_sim () =
+  let sim_names =
+    Rme.Stack.recoverable_names @ Rme.Stack.conventional_names
+  in
+  List.iter
+    (fun name ->
+      if not (List.mem name sim_names) then
+        Alcotest.failf
+          "native registry claims %S but the simulated registry has no such \
+           stack"
+          name)
+    Rme_native.Stack.ported_names
+
+let native_registry_breadth () =
+  let names = Rme_native.Stack.recoverable_names in
+  Alcotest.(check bool)
+    "at least 6 recoverable native stacks" true
+    (List.length names >= 6);
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) (required ^ " ported") true (List.mem required names))
+    [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "frf-mcs"; "t1-ya" ]
+
+let no_duplicate_keys () =
+  let check_uniq what names =
+    let sorted = List.sort_uniq compare names in
+    if List.length sorted <> List.length names then
+      Alcotest.failf "%s registry has duplicate keys" what
+  in
+  check_uniq "sim recoverable" Rme.Stack.recoverable_names;
+  check_uniq "sim conventional" Rme.Stack.conventional_names;
+  check_uniq "native recoverable" Rme_native.Stack.recoverable_names;
+  check_uniq "native conventional" Rme_native.Stack.conventional_names
+
+(* --- same storm, both substrates --- *)
+
+let differential_storm ?(model = Sim.Memory.Cc) ~check_csr stack () =
+  (* Simulated substrate: seeded bursty crash storm through the driver
+     with its full monitor set. *)
+  let sim_passages = 150 in
+  let sim_report =
+    run_stack ~n:4 ~passages:sim_passages
+      ~schedule:(storm ~seed:7 ~mean:400 ())
+      ~model stack
+  in
+  assert_clean (stack ^ " sim storm") sim_report;
+  Alcotest.(check bool)
+    (stack ^ " sim: every process finished")
+    true sim_report.Harness.Driver.all_done;
+  if check_csr then
+    Alcotest.(check int)
+      (stack ^ " sim: zero CSR violations")
+      0 sim_report.Harness.Driver.csr_violations;
+  (* Native substrate: the same transcription on real domains, seeded
+     crash schedule, online monitors. *)
+  let n = 4 in
+  let passages = 2_000 in
+  let native_report =
+    Rme_native.Workers.run ~crash_interval:0.001 ~max_crashes:20 ~seed:7 ~n
+      ~passages
+      ~make:(fun crash ~n -> Rme_native.Stack.recoverable ~model crash ~n stack)
+      ()
+  in
+  (match Rme_native.Workers.check_clean native_report with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s native storm: %s" stack e);
+  Alcotest.(check int)
+    (stack ^ " native: every passage completed")
+    (n * passages)
+    (Array.fold_left ( + ) 0 native_report.Rme_native.Workers.completed);
+  if check_csr then
+    Alcotest.(check int)
+      (stack ^ " native: zero CSR violations")
+      0 native_report.Rme_native.Workers.csr_violations
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "registry",
+        [
+          case "native-names-exist-in-sim" native_names_exist_in_sim;
+          case "native-breadth" native_registry_breadth;
+          case "no-duplicate-keys" no_duplicate_keys;
+        ] );
+      ( "storm",
+        [
+          slow_case "t1-mcs" (differential_storm ~check_csr:false "t1-mcs");
+          slow_case "t3-mcs" (differential_storm ~check_csr:true "t3-mcs");
+          slow_case "frf-mcs" (differential_storm ~check_csr:false "frf-mcs");
+          slow_case "t3-mcs-dsm"
+            (differential_storm ~model:Sim.Memory.Dsm ~check_csr:true "t3-mcs");
+        ] );
+    ]

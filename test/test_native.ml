@@ -80,14 +80,19 @@ let crash_protocol_epochs () =
 
 (* --- Barrier, driven directly --- *)
 
-let barrier_all_pass variant () =
+(* The same Fig. 2 transcription the simulator runs, instantiated over the
+   native backend. *)
+module NBarrier = Rme.Barrier.Make (Rme_native.Backend)
+
+let barrier_all_pass model () =
   (* All non-leaders arrive first and park; the leader arrives last and
      everyone gets through — repeated across epochs with a real crash
      between rounds. *)
   let n = 3 in
   let rounds = 4 in
   let crash = Rme_native.Crash.create ~n in
-  let b = Rme_native.Barrier.create ~variant crash ~n in
+  let mem = Rme_native.Backend.create ~model crash ~n in
+  let b = NBarrier.create mem ~name:"b" in
   let passed = Atomic.make 0 in
   let worker pid () =
     let done_upto = ref 0 in
@@ -96,7 +101,7 @@ let barrier_all_pass variant () =
           (* leader rotates per epoch *)
           let leader = 1 + (epoch mod n) = pid in
           if not leader then Unix.sleepf 0.0005;
-          Rme_native.Barrier.enter b ~pid ~epoch ~leader;
+          NBarrier.enter b ~pid ~epoch ~leader;
           incr done_upto;
           ignore (Atomic.fetch_and_add passed 1)
         done;
@@ -162,7 +167,7 @@ let native_storms () =
           ()
       in
       assert_native_clean (stack ^ " storm") r)
-    [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "t1-ticket" ]
+    [ "t1-mcs"; "t1-ya"; "t2-mcs"; "t3-mcs"; "frf-mcs"; "t1-ticket" ]
 
 let native_csr_stacks_hold_csr () =
   List.iter
@@ -194,7 +199,7 @@ let native_distributed_barrier_storm () =
     Rme_native.Workers.run ~crash_interval:0.001 ~max_crashes:25 ~n:module_n
       ~passages:30_000
       ~make:(fun crash ~n ->
-        Rme_native.Stack.recoverable ~variant:`Distributed crash ~n "t3-mcs")
+        Rme_native.Stack.recoverable ~model:Sim.Memory.Dsm crash ~n "t3-mcs")
       ()
   in
   assert_native_clean "t3-mcs distributed-barrier storm" r
@@ -222,8 +227,8 @@ let () =
       ("crash-protocol", [ case "epochs" crash_protocol_epochs ]);
       ( "barrier",
         [
-          case "spin-variant" (barrier_all_pass `Spin);
-          case "distributed-variant" (barrier_all_pass `Distributed);
+          case "cc-path" (barrier_all_pass Sim.Memory.Cc);
+          case "dsm-path" (barrier_all_pass Sim.Memory.Dsm);
         ] );
       ( "failure-free",
         [
