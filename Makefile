@@ -1,7 +1,7 @@
 # Tier-1 verification plus the parallel-engine smoke test. `make ci` is
 # what .github/workflows/ci.yml runs; keep the two in sync.
 
-.PHONY: all build test differential bench-smoke e10-smoke ci clean
+.PHONY: all build test differential bench-smoke e10-smoke trace-sample validate ci clean
 
 all: build
 
@@ -21,16 +21,30 @@ differential: build
 # E1 exercises the sweep fan-out, E9 the parallel model checker, both on a
 # 2-worker pool. Any safety violation (assert_ok) or E9 expectation
 # mismatch (a clean row reporting a violation, or a known-negative row
-# failing to find one) makes the binary exit non-zero.
+# failing to find one) makes the binary exit non-zero. The emitted
+# BENCH_E*.json are then checked against the rme-bench/1 schema.
 bench-smoke: build
-	dune exec bench/main.exe -- e1 e9 --jobs 2 --no-json
+	dune exec bench/main.exe -- e1 e9 --jobs 2
+	dune exec bench/validate.exe -- BENCH_E1.json BENCH_E9.json
+
+# Standalone schema check over whatever BENCH_E*.json are lying around.
+validate: build
+	dune exec bench/validate.exe
 
 # E10 across the full native registry at reduced iterations: a monitor
 # violation in any native stack fails the run (Workers.check_clean).
 e10-smoke: build
-	dune exec bench/main.exe -- e10 --quick --no-json
+	dune exec bench/main.exe -- e10 --quick
+	dune exec bench/validate.exe -- BENCH_E10.json
 
-ci: build test differential bench-smoke e10-smoke
+# A small Perfetto-loadable trace of T1(MCS) under a crash storm — CI
+# uploads it as an artifact so a run's behaviour can be eyeballed.
+trace-sample: build
+	dune exec bin/rme_cli.exe -- trace --stack t1-mcs -n 4 --steps 2000 \
+	  --crash-every 300 --format chrome --out trace_sample.json
+
+ci: build test differential bench-smoke e10-smoke trace-sample
 
 clean:
 	dune clean
+	rm -f BENCH_E*.json trace_sample.json

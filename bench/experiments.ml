@@ -58,7 +58,12 @@ let assert_ok what (r : Driver.report) =
   if r.me_violations > 0 || r.counter_value <> r.cs_completions then
     failwith (what ^ ": safety violation during benchmark!")
 
-(* E1/E2: steady-state RMRs per passage vs N. *)
+(* E1/E2: steady-state RMRs per passage vs N. Each (algorithm, N) run is
+   computed once on the pool and feeds three outputs: the classic
+   mean (max) table, a distribution table (p50/p90/p99/max at the largest
+   N — flat O(1) curves must be flat at every percentile, not just on
+   average), and the full per-configuration histograms in the experiment's
+   metrics JSON. *)
 let steady_state_rmrs ~model ~pool () =
   let algos =
     [
@@ -76,31 +81,65 @@ let steady_state_rmrs ~model ~pool () =
       "t1-ya";
     ]
   in
-  let rows =
-    sweep pool ~rows:algos ~cols:sweep_ns ~label:Fun.id ~cell:(fun name n ->
+  let ek = match model with Memory.Cc -> 1 | Memory.Dsm -> 2 in
+  let reports =
+    Pool.map pool
+      (fun (name, n) ->
         let r = run_steady ~model ~n name in
         assert_ok name r;
-        mm r.Driver.steady_rmrs)
+        (name, n, r))
+      (cross algos sweep_ns)
+  in
+  List.iter
+    (fun (name, n, r) ->
+      Report.metric
+        ~name:(Printf.sprintf "e%d.steady_rmrs.%s.n%d" ek name n)
+        (Stats.to_json r.Driver.steady_rmrs))
+    reports;
+  let rows =
+    List.map2
+      (fun name per_n ->
+        name :: List.map (fun (_, _, r) -> mm r.Driver.steady_rmrs) per_n)
+      algos
+      (chunks (List.length sweep_ns) reports)
   in
   Report.table
     ~title:
       (Format.asprintf
          "E%d: steady-state RMRs per passage, %a model — mean (max); \
           failure-free, includes 2 critical-section ops"
-         (match model with Memory.Cc -> 1 | Memory.Dsm -> 2)
-         Memory.pp_model model)
+         ek Memory.pp_model model)
     ~header:("algorithm" :: List.map string_of_int sweep_ns)
-    rows
+    rows;
+  let nmax = List.fold_left max 0 sweep_ns in
+  let pc r p = Printf.sprintf "%.0f" (Stats.percentile r.Driver.steady_rmrs p) in
+  Report.table
+    ~title:
+      (Format.asprintf
+         "E%dp: steady-state RMR distribution per passage at N=%d, %a model"
+         ek nmax Memory.pp_model model)
+    ~header:[ "algorithm"; "p50"; "p90"; "p99"; "max" ]
+    (List.filter_map
+       (fun (name, n, r) ->
+         if n = nmax then
+           Some
+             [ name; pc r 50.; pc r 90.; pc r 99.;
+               Report.i (Stats.max_int r.Driver.steady_rmrs) ]
+         else None)
+       reports)
 
-(* E3: cost of the passage that performs post-crash recovery. *)
+(* E3: cost of the passage that performs post-crash recovery. Each run now
+   also feeds a leader vs non-leader split (the epoch's first recovering
+   process pays the reset work; everyone else just re-queues) and per-run
+   histograms into the metrics JSON. *)
 let recovery_rmrs ~pool () =
+  let algos = [ "t1-mcs"; "t3-mcs"; "t1-ya" ] in
   List.iter
     (fun model ->
-      let rows =
-        sweep pool
-          ~rows:[ "t1-mcs"; "t3-mcs"; "t1-ya" ]
-          ~cols:sweep_ns ~label:Fun.id
-          ~cell:(fun name n ->
+      let mname = Format.asprintf "%a" Memory.pp_model model in
+      let reports =
+        Pool.map pool
+          (fun (name, n) ->
             let r =
               Driver.run ~n ~passages:10 ~max_steps:40_000_000 ~model
                 ~make:(fun mem -> Rme.Stack.recoverable mem name)
@@ -110,16 +149,46 @@ let recovery_rmrs ~pool () =
                 ()
             in
             assert_ok name r;
-            mm r.Driver.recovery_rmrs)
+            (name, n, r))
+          (cross algos sweep_ns)
       in
-      Report.table
+      List.iter
+        (fun (name, n, r) ->
+          let m suffix stats =
+            Report.metric
+              ~name:(Printf.sprintf "e3.%s.%s.%s.n%d" suffix mname name n)
+              (Stats.to_json stats)
+          in
+          m "recovery_rmrs" r.Driver.recovery_rmrs;
+          m "leader_recovery_rmrs" r.Driver.leader_recovery_rmrs;
+          m "follower_recovery_rmrs" r.Driver.follower_recovery_rmrs)
+        reports;
+      let table ~title cell =
+        Report.table ~title
+          ~header:("algorithm" :: List.map string_of_int sweep_ns)
+          (List.map2
+             (fun name per_n -> name :: List.map cell per_n)
+             algos
+             (chunks (List.length sweep_ns) reports))
+      in
+      table
         ~title:
-          (Format.asprintf
+          (Printf.sprintf
              "E3: RMRs of recovery passages (first passage of a new epoch), \
-              %a model — mean (max)"
-             Memory.pp_model model)
-        ~header:("algorithm" :: List.map string_of_int sweep_ns)
-        rows)
+              %s model — mean (max)"
+             mname)
+        (fun (_, _, r) -> mm r.Driver.recovery_rmrs);
+      table
+        ~title:
+          (Printf.sprintf
+             "E3s: recovery-passage RMRs split by role, %s model — \
+              leader mean / non-leader mean (leader = epoch's first \
+              recovering process)"
+             mname)
+        (fun (_, _, r) ->
+          Printf.sprintf "%.1f / %.1f"
+            (Stats.mean r.Driver.leader_recovery_rmrs)
+            (Stats.mean r.Driver.follower_recovery_rmrs)))
     [ Memory.Cc; Memory.Dsm ]
 
 (* Shared worst-case barrier driver: all non-leaders arrive first, then the

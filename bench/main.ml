@@ -14,39 +14,44 @@ let usage () =
     (String.concat ", " (List.map fst Experiments.all));
   exit 2
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_string s = "\"" ^ json_escape s ^ "\""
-
-let json_list f xs = "[" ^ String.concat ", " (List.map f xs) ^ "]"
-
-let write_json ~name ~jobs ~elapsed (tables : Harness.Report.captured list) =
+(* One "rme-bench/1" document per experiment: every table exactly as
+   printed (same strings, so the JSON is as byte-stable as the tables),
+   plus the named metrics — Stats histograms etc. — recorded while the
+   experiment ran. Report.validate_bench checks this shape; the
+   [validate.exe] companion runs it over the emitted files. *)
+let write_json ~name ~jobs ~elapsed (tables : Harness.Report.captured list)
+    metrics =
   let file = Printf.sprintf "BENCH_%s.json" (String.uppercase_ascii name) in
+  let open Sim.Json in
   let table (t : Harness.Report.captured) =
-    Printf.sprintf
-      "{ \"title\": %s,\n      \"header\": %s,\n      \"rows\": %s }"
-      (json_string t.title)
-      (json_list json_string t.header)
-      (json_list (json_list json_string) t.rows)
+    Obj
+      [
+        ("title", Str t.Harness.Report.title);
+        ("header", List (List.map (fun h -> Str h) t.Harness.Report.header));
+        ( "rows",
+          List
+            (List.map
+               (fun row -> List (List.map (fun c -> Str c) row))
+               t.Harness.Report.rows) );
+      ]
   in
+  let doc =
+    Obj
+      [
+        ("schema", Str Harness.Report.bench_schema);
+        ("experiment", Str name);
+        ("jobs", Int jobs);
+        ("wall_clock_s", Float (Float.round (elapsed *. 1000.) /. 1000.));
+        ("tables", List (List.map table tables));
+        ("metrics", Obj metrics);
+      ]
+  in
+  (match Harness.Report.validate_bench doc with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "%s: invalid bench JSON: %s" file e));
   let oc = open_out file in
-  Printf.fprintf oc
-    "{\n  \"experiment\": %s,\n  \"jobs\": %d,\n  \"wall_clock_s\": %.3f,\n\
-    \  \"tables\": [\n    %s\n  ]\n}\n"
-    (json_string name) jobs elapsed
-    (String.concat ",\n    " (List.map table tables));
+  output_string oc (to_string ~pretty:true doc);
+  output_char oc '\n';
   close_out oc
 
 let () =
@@ -96,6 +101,7 @@ let () =
             if !emit_json then
               write_json ~name ~jobs:!jobs ~elapsed
                 (Harness.Report.captured ())
+                (Harness.Report.captured_metrics ())
           | None ->
             Printf.eprintf "unknown experiment %S (known: %s)\n%!" name
               (String.concat ", " (List.map fst Experiments.all));

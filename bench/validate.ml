@@ -1,0 +1,50 @@
+(* Schema validator for the harness's machine-readable artifacts:
+   [validate.exe FILE ...] parses each file and checks it against the
+   "rme-bench/1" shape (Report.validate_bench). With no arguments it
+   globs BENCH_E*.json in the current directory. Exit 0 iff every file
+   is valid; CI runs this over the smoke benches. *)
+
+let bench_files () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 7
+         && String.sub f 0 7 = "BENCH_E"
+         && Filename.check_suffix f ".json")
+  |> List.sort compare
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let validate file =
+  match Sim.Json.parse (read_file file) with
+  | exception Sys_error e ->
+    Printf.printf "%s: FAIL (%s)\n" file e;
+    false
+  | exception Sim.Json.Parse_error e ->
+    Printf.printf "%s: FAIL (not valid JSON: %s)\n" file e;
+    false
+  | doc -> (
+    match Harness.Report.validate_bench doc with
+    | Ok () ->
+      Printf.printf "%s: ok\n" file;
+      true
+    | Error e ->
+      Printf.printf "%s: FAIL (%s)\n" file e;
+      false)
+
+let () =
+  let files =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> bench_files ()
+    | fs -> fs
+  in
+  if files = [] then begin
+    print_endline "validate: no BENCH_E*.json files found";
+    exit 1
+  end;
+  let ok = List.fold_left (fun acc f -> validate f && acc) true files in
+  if not ok then exit 1

@@ -50,6 +50,22 @@ let passages_arg =
     value & opt int 100
     & info [ "passages"; "p" ] ~doc:"Passages per process.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's machine-readable metrics (JSON, including RMR \
+           and step histograms) to $(docv). With --replicas, the first \
+           seed's metrics are written.")
+
+let write_file file contents =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -97,7 +113,7 @@ let run_cmd =
              --jobs pool) and print each report in seed order.")
   in
   let run stack model n passages seed crash_mean bursty bias max_steps jobs
-      replicas =
+      replicas metrics =
     let one seed =
       let base =
         match bias with
@@ -124,11 +140,21 @@ let run_cmd =
         Printf.printf "NOT CLEAN: %s\n" e;
         1
     in
-    if replicas <= 1 then finish (one seed) (* the legacy single-run path *)
+    let save report =
+      Option.iter
+        (fun file -> write_file file (Harness.Driver.metrics_json report))
+        metrics
+    in
+    if replicas <= 1 then begin
+      let report = one seed in
+      save report;
+      finish report (* the legacy single-run path *)
+    end
     else
       Parallel.Pool.with_pool ~jobs (fun pool ->
           let seeds = List.init replicas (fun i -> seed + i) in
           let reports = Parallel.Pool.map pool one seeds in
+          save (List.hd reports);
           List.fold_left2
             (fun acc seed report ->
               Printf.printf "--- seed %d ---\n" seed;
@@ -139,7 +165,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate one configuration and print its report.")
     Term.(
       const run $ stack_arg $ model_arg $ n_arg $ passages_arg $ seed_arg
-      $ crash_mean $ bursty $ bias $ max_steps $ jobs_arg $ replicas)
+      $ crash_mean $ bursty $ bias $ max_steps $ jobs_arg $ replicas
+      $ metrics_arg)
 
 (* --- model-check --- *)
 
@@ -203,16 +230,45 @@ let trace_cmd =
       value & opt (some int) None
       & info [ "crash-every" ] ~doc:"Inject a crash every K decisions.")
   in
-  let run stack model n seed steps crash_every =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Text
+      & info [ "format"; "f" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,text) (human-readable dump), $(b,jsonl) \
+             (one JSON object per event) or $(b,chrome) (trace-event JSON \
+             loadable in Perfetto / chrome://tracing).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let run stack model n seed steps crash_every format out =
     let mem = Sim.Memory.create ~model ~n in
     let tr = Sim.Trace.create () in
     Sim.Trace.attach tr mem;
     let lock = Rme.Stack.recoverable mem stack in
+    (* Phase marks are plain bookkeeping (no shared-memory operations), so
+       the op stream — and hence the schedule — is identical to an
+       unmarked run; they only add span structure to the exporters. *)
+    let span ~pid phase f =
+      Sim.Trace.phase_begin tr ~pid phase;
+      f ();
+      Sim.Trace.phase_end tr ~pid phase
+    in
     let body ~pid ~epoch =
       while true do
-        lock.Rme.Rme_intf.recover ~pid ~epoch;
-        lock.Rme.Rme_intf.enter ~pid ~epoch;
-        lock.Rme.Rme_intf.exit ~pid ~epoch
+        let span p f = span ~pid p f in
+        span Sim.Trace.Ncs (fun () -> ());
+        span Sim.Trace.Recover (fun () ->
+            lock.Rme.Rme_intf.recover ~pid ~epoch);
+        span Sim.Trace.Entry (fun () -> lock.Rme.Rme_intf.enter ~pid ~epoch);
+        span Sim.Trace.Cs (fun () -> ());
+        span Sim.Trace.Exit (fun () -> lock.Rme.Rme_intf.exit ~pid ~epoch)
       done
     in
     let rt = Sim.Runtime.create mem ~body in
@@ -243,18 +299,32 @@ let trace_cmd =
       end
     in
     loop ();
-    Sim.Trace.dump Format.std_formatter tr;
+    let contents =
+      match format with
+      | `Text ->
+        let b = Buffer.create 4096 in
+        let ppf = Format.formatter_of_buffer b in
+        Sim.Trace.dump ppf tr;
+        Format.pp_print_flush ppf ();
+        Buffer.contents b
+      | `Jsonl -> Sim.Trace.to_jsonl tr
+      | `Chrome -> Sim.Trace.to_chrome tr ^ "\n"
+    in
+    (match out with
+    | None -> print_string contents
+    | Some file -> write_file file contents);
     0
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Dump a step-by-step shared-memory trace of a lock stack under a \
-          seeded schedule (every operation, its result, and whether it was \
-          charged as an RMR).")
+          seeded schedule (every operation, its result, whether it was \
+          charged as an RMR, and passage-phase spans), as text, JSONL or \
+          Chrome trace-event JSON.")
     Term.(
       const run $ stack_arg $ model_arg $ n_arg $ seed_arg $ steps
-      $ crash_every)
+      $ crash_every $ format $ out)
 
 (* --- native --- *)
 
@@ -272,7 +342,18 @@ let native_cmd =
             "Run R replicas with crash-schedule seeds SEED..SEED+R-1 (on \
              the --jobs pool) and print each report in seed order.")
   in
-  let run stack model n passages seed crash_interval jobs replicas =
+  let sample_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sample-interval" ] ~docv:"MS"
+          ~doc:
+            "Arm the passive throughput sampler: record total passages \
+             every $(docv) milliseconds (a passages/s time series across \
+             crash storms, included in --metrics output).")
+  in
+  let run stack model n passages seed crash_interval jobs replicas
+      sample_interval metrics =
     if not (List.mem stack Rme_native.Stack.recoverable_names) then begin
       Printf.eprintf "unknown native stack %S; available: %s\n" stack
         (String.concat ", " Rme_native.Stack.recoverable_names);
@@ -282,10 +363,17 @@ let native_cmd =
       let one seed =
         Rme_native.Workers.run
           ?crash_interval:(Option.map (fun ms -> ms /. 1000.) crash_interval)
+          ?sample_interval:
+            (Option.map (fun ms -> ms /. 1000.) sample_interval)
           ~seed ~n ~passages
           ~make:(fun crash ~n ->
             Rme_native.Stack.recoverable ~model crash ~n stack)
           ()
+      in
+      let save r =
+        Option.iter
+          (fun file -> write_file file (Rme_native.Workers.metrics_json r))
+          metrics
       in
       let finish r =
         Format.printf "%a@." Rme_native.Workers.pp_result r;
@@ -297,11 +385,16 @@ let native_cmd =
           Printf.printf "NOT CLEAN: %s\n" e;
           1
       in
-      if replicas <= 1 then finish (one seed)
+      if replicas <= 1 then begin
+        let r = one seed in
+        save r;
+        finish r
+      end
       else
         Parallel.Pool.with_pool ~jobs (fun pool ->
             let seeds = List.init replicas (fun i -> seed + i) in
             let reports = Parallel.Pool.map pool one seeds in
+            save (List.hd reports);
             List.fold_left2
               (fun acc seed report ->
                 Printf.printf "--- seed %d ---\n" seed;
@@ -318,7 +411,7 @@ let native_cmd =
           distributed-barrier machinery of Fig. 2.")
     Term.(
       const run $ stack_arg $ model_arg $ n_arg $ passages_arg $ seed_arg
-      $ crash_interval $ jobs_arg $ replicas)
+      $ crash_interval $ jobs_arg $ replicas $ sample_interval $ metrics_arg)
 
 let () =
   let doc =

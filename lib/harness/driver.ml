@@ -18,10 +18,14 @@ type report = {
   max_overtaking : int;
   steady_rmrs : Stats.t;
   recovery_rmrs : Stats.t;
+  leader_recovery_rmrs : Stats.t;
+  follower_recovery_rmrs : Stats.t;
   steady_recover_section_rmrs : Stats.t;
   recovery_recover_section_rmrs : Stats.t;
   exit_steps : Stats.t;
   steady_recover_steps : Stats.t;
+  steady_passage_steps : Stats.t;
+  recovery_passage_steps : Stats.t;
 }
 
 let run ?(max_steps = 2_000_000) ?(passages = 100) ~n ~model ~make ~schedule ()
@@ -45,10 +49,19 @@ let run ?(max_steps = 2_000_000) ?(passages = 100) ~n ~model ~make ~schedule ()
   let max_overtaking = ref 0 in
   let steady_rmrs = Stats.create () in
   let recovery_rmrs = Stats.create () in
+  let leader_recovery_rmrs = Stats.create () in
+  let follower_recovery_rmrs = Stats.create () in
   let steady_sec = Stats.create () in
   let recovery_sec = Stats.create () in
   let exit_steps = Stats.create () in
   let steady_recover_steps = Stats.create () in
+  let steady_passage_steps = Stats.create () in
+  let recovery_passage_steps = Stats.create () in
+  (* Recovery-leader proxy: the first process to begin a passage in each
+     epoch is the one that (in Transformation 1) typically wins the
+     leader CAS and pays the base-lock reset; everyone else recovers as a
+     non-leader. Plain monitor state, like everything else here. *)
+  let leader_epoch = ref Stdlib.min_int in
   let body ~pid ~epoch =
     while completed.(pid) < passages do
       let rmr0 = Memory.rmrs mem ~pid in
@@ -58,6 +71,8 @@ let run ?(max_steps = 2_000_000) ?(passages = 100) ~n ~model ~make ~schedule ()
         overtakes.(pid) <- 0
       end;
       let recovery_passage = last_epoch.(pid) <> epoch in
+      let recovery_leader = recovery_passage && !leader_epoch <> epoch in
+      if recovery_leader then leader_epoch := epoch;
       lock.Rme.Rme_intf.recover ~pid ~epoch;
       let recover_rmrs = Memory.rmrs mem ~pid - rmr0 in
       let recover_steps = Memory.steps mem ~pid - step0 in
@@ -88,14 +103,21 @@ let run ?(max_steps = 2_000_000) ?(passages = 100) ~n ~model ~make ~schedule ()
       lock.Rme.Rme_intf.exit ~pid ~epoch;
       Stats.add_int exit_steps (Memory.steps mem ~pid - exit0);
       let passage_rmrs = Memory.rmrs mem ~pid - rmr0 in
+      let passage_steps = Memory.steps mem ~pid - step0 in
       if recovery_passage then begin
         Stats.add_int recovery_rmrs passage_rmrs;
-        Stats.add_int recovery_sec recover_rmrs
+        Stats.add_int
+          (if recovery_leader then leader_recovery_rmrs
+           else follower_recovery_rmrs)
+          passage_rmrs;
+        Stats.add_int recovery_sec recover_rmrs;
+        Stats.add_int recovery_passage_steps passage_steps
       end
       else begin
         Stats.add_int steady_rmrs passage_rmrs;
         Stats.add_int steady_sec recover_rmrs;
-        Stats.add_int steady_recover_steps recover_steps
+        Stats.add_int steady_recover_steps recover_steps;
+        Stats.add_int steady_passage_steps passage_steps
       end;
       last_epoch.(pid) <- epoch;
       completed.(pid) <- completed.(pid) + 1
@@ -153,10 +175,14 @@ let run ?(max_steps = 2_000_000) ?(passages = 100) ~n ~model ~make ~schedule ()
     max_overtaking = !max_overtaking;
     steady_rmrs;
     recovery_rmrs;
+    leader_recovery_rmrs;
+    follower_recovery_rmrs;
     steady_recover_section_rmrs = steady_sec;
     recovery_recover_section_rmrs = recovery_sec;
     exit_steps;
     steady_recover_steps;
+    steady_passage_steps;
+    recovery_passage_steps;
   }
 
 let pp_report ppf r =
@@ -170,6 +196,51 @@ let pp_report ppf r =
     r.total_rmrs r.crashes r.me_violations r.csr_violations r.csr_reentries
     r.cs_completions r.counter_value r.max_overtaking Stats.pp r.steady_rmrs
     Stats.pp r.recovery_rmrs Stats.pp r.exit_steps
+
+(* Machine-readable report: every scalar the report tracks plus the full
+   histogram of every Stats accumulator. Purely derived from the report,
+   so same-seed runs serialize byte-identically. *)
+let metrics r =
+  let histograms =
+    [
+      ("steady_rmrs", r.steady_rmrs);
+      ("recovery_rmrs", r.recovery_rmrs);
+      ("leader_recovery_rmrs", r.leader_recovery_rmrs);
+      ("follower_recovery_rmrs", r.follower_recovery_rmrs);
+      ("steady_recover_section_rmrs", r.steady_recover_section_rmrs);
+      ("recovery_recover_section_rmrs", r.recovery_recover_section_rmrs);
+      ("exit_steps", r.exit_steps);
+      ("steady_recover_steps", r.steady_recover_steps);
+      ("steady_passage_steps", r.steady_passage_steps);
+      ("recovery_passage_steps", r.recovery_passage_steps);
+    ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "rme-metrics/1");
+      ("lock", Json.Str r.lock_name);
+      ("n", Json.Int r.n);
+      ("model", Json.Str (Format.asprintf "%a" Memory.pp_model r.model));
+      ("target_passages", Json.Int r.target);
+      ("all_done", Json.Bool r.all_done);
+      ( "completed",
+        Json.List
+          (List.tl (Array.to_list (Array.map (fun c -> Json.Int c) r.completed)))
+      );
+      ("total_steps", Json.Int r.total_steps);
+      ("total_rmrs", Json.Int r.total_rmrs);
+      ("crashes", Json.Int r.crashes);
+      ("me_violations", Json.Int r.me_violations);
+      ("csr_violations", Json.Int r.csr_violations);
+      ("csr_reentries", Json.Int r.csr_reentries);
+      ("cs_completions", Json.Int r.cs_completions);
+      ("counter_value", Json.Int r.counter_value);
+      ("max_overtaking", Json.Int r.max_overtaking);
+      ( "histograms",
+        Json.Obj (List.map (fun (k, s) -> (k, Stats.to_json s)) histograms) );
+    ]
+
+let metrics_json r = Json.to_string ~pretty:true (metrics r) ^ "\n"
 
 let check_clean r =
   if r.me_violations > 0 then

@@ -43,10 +43,20 @@ type report = {
   recovery_rmrs : Sim.Stats.t;
       (** per-passage RMRs, passages that start a new epoch for their
           process (first-boot and post-crash) *)
+  leader_recovery_rmrs : Sim.Stats.t;
+      (** recovery passages of the epoch's {e leader} — the first process
+          to begin a passage in each epoch, the one that typically wins
+          Transformation 1's leader CAS and pays the base-lock reset *)
+  follower_recovery_rmrs : Sim.Stats.t;
+      (** recovery passages of everyone else (non-leaders) *)
   steady_recover_section_rmrs : Sim.Stats.t;
   recovery_recover_section_rmrs : Sim.Stats.t;
   exit_steps : Sim.Stats.t;  (** bounded-exit witness *)
   steady_recover_steps : Sim.Stats.t;  (** bounded-recovery witness *)
+  steady_passage_steps : Sim.Stats.t;
+      (** end-to-end step latency (shared-memory ops) per steady passage *)
+  recovery_passage_steps : Sim.Stats.t;
+      (** end-to-end step latency per recovery passage *)
 }
 
 val run :
@@ -64,6 +74,15 @@ val run :
     configurations (e.g. unprotected locks after a crash). *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val metrics : report -> Sim.Json.t
+(** The whole report as JSON ([rme-metrics/1] schema): every scalar plus
+    the full histogram (with p50/p90/p99) of every statistic. Purely
+    derived from the report, so same-seed runs serialize
+    byte-identically. *)
+
+val metrics_json : report -> string
+(** {!metrics}, pretty-printed, newline-terminated. *)
 
 val check_clean : report -> (unit, string) result
 (** [Ok ()] iff the run finished with no property violations and no lost

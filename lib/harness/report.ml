@@ -3,34 +3,51 @@ let i = string_of_int
 
 type captured = { title : string; header : string list; rows : string list list }
 
-(* Tables land here as a side effect of [table]; the bench harness drains
-   the list into BENCH_E<k>.json after each experiment. Only the main
-   domain prints tables (cells are computed on the pool, rendering is
-   not), so no locking is needed. *)
+(* Tables and metrics land here as a side effect of [table] / [metric];
+   the bench harness drains both into BENCH_E<k>.json after each
+   experiment. Only the main domain prints tables and records metrics
+   (cells are computed on the pool, rendering is not), so no locking is
+   needed. *)
 let capture : captured list ref = ref []
+let metric_capture : (string * Sim.Json.t) list ref = ref []
 
-let reset_captured () = capture := []
+let reset_captured () =
+  capture := [];
+  metric_capture := []
+
 let captured () = List.rev !capture
 
-let table ~title ~header rows =
-  capture := { title; header; rows } :: !capture;
+let metric ~name json = metric_capture := (name, json) :: !metric_capture
+let captured_metrics () = List.rev !metric_capture
+
+(* Column width must count what the terminal renders, not bytes: a
+   byte-level String.length over-counts every multi-byte UTF-8 scalar
+   (e.g. the Θ in "Θ(log N)") and mis-pads the column. Counting Unicode
+   scalar values (every byte that is not a continuation byte) is exact
+   for the symbols our tables use. *)
+let display_width s =
+  let w = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr w) s;
+  !w
+
+let render ~header rows =
   let all = header :: rows in
   let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
   let width c =
     List.fold_left
       (fun acc row ->
         match List.nth_opt row c with
-        | Some s -> max acc (String.length s)
+        | Some s -> max acc (display_width s)
         | None -> acc)
       0 all
   in
   let widths = List.init cols width in
-  let render row =
+  let render_row row =
     let cells =
       List.mapi
         (fun c w ->
           let s = match List.nth_opt row c with Some s -> s | None -> "" in
-          s ^ String.make (w - String.length s) ' ')
+          s ^ String.make (max 0 (w - display_width s)) ' ')
         widths
     in
     "| " ^ String.concat " | " cells ^ " |"
@@ -39,9 +56,81 @@ let table ~title ~header rows =
     "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
     ^ "|"
   in
+  render_row header :: rule :: List.map render_row rows
+
+let table ~title ~header rows =
+  capture := { title; header; rows } :: !capture;
   print_newline ();
   Printf.printf "### %s\n\n" title;
-  print_endline (render header);
-  print_endline rule;
-  List.iter (fun r -> print_endline (render r)) rows;
+  List.iter print_endline (render ~header rows);
   print_newline ()
+
+(* --- the bench JSON schema --- *)
+
+let bench_schema = "rme-bench/1"
+
+let validate_bench json =
+  let open Sim.Json in
+  let ( let* ) r f = Result.bind r f in
+  let need what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing %s" what)
+  in
+  let str what = function
+    | Str s -> Ok s
+    | _ -> Error (Printf.sprintf "%s: expected a string" what)
+  in
+  let num what v =
+    match to_float_opt v with
+    | Some _ -> Ok ()
+    | None -> Error (Printf.sprintf "%s: expected a number" what)
+  in
+  let str_list what = function
+    | List xs ->
+      if List.for_all (function Str _ -> true | _ -> false) xs then Ok ()
+      else Error (Printf.sprintf "%s: expected an array of strings" what)
+    | _ -> Error (Printf.sprintf "%s: expected an array" what)
+  in
+  let* schema = need "schema" (member "schema" json) in
+  let* schema = str "schema" schema in
+  let* () =
+    if schema = bench_schema then Ok ()
+    else Error (Printf.sprintf "schema: expected %S, got %S" bench_schema schema)
+  in
+  let* experiment = need "experiment" (member "experiment" json) in
+  let* _ = str "experiment" experiment in
+  let* jobs = need "jobs" (member "jobs" json) in
+  let* () = num "jobs" jobs in
+  let* wall = need "wall_clock_s" (member "wall_clock_s" json) in
+  let* () = num "wall_clock_s" wall in
+  let* tables = need "tables" (member "tables" json) in
+  let* tables =
+    match tables with
+    | List ts -> Ok ts
+    | _ -> Error "tables: expected an array"
+  in
+  let* () =
+    List.fold_left
+      (fun acc (idx, t) ->
+        let* () = acc in
+        let what fmt = Printf.sprintf "tables[%d].%s" idx fmt in
+        let* title = need (what "title") (member "title" t) in
+        let* _ = str (what "title") title in
+        let* header = need (what "header") (member "header" t) in
+        let* () = str_list (what "header") header in
+        let* rows = need (what "rows") (member "rows" t) in
+        match rows with
+        | List rs ->
+          List.fold_left
+            (fun acc r ->
+              let* () = acc in
+              str_list (what "rows[]") r)
+            (Ok ()) rs
+        | _ -> Error (what "rows: expected an array"))
+      (Ok ())
+      (List.mapi (fun idx t -> (idx, t)) tables)
+  in
+  let* m = need "metrics" (member "metrics" json) in
+  match m with
+  | Obj _ -> Ok ()
+  | _ -> Error "metrics: expected an object"

@@ -1,8 +1,9 @@
 (** Plain-text table rendering for the benchmark harness (aligned columns,
     Markdown-ish separators), so every experiment prints rows the way the
     paper's claims read — plus an in-memory capture of every table printed
-    since the last {!reset_captured}, so the harness can additionally emit
-    machine-readable [BENCH_E<k>.json] files for cross-PR perf tracking. *)
+    and every metric recorded since the last {!reset_captured}, so the
+    harness can additionally emit machine-readable [BENCH_E<k>.json] files
+    (schema {!bench_schema}) for cross-PR perf tracking. *)
 
 type captured = { title : string; header : string list; rows : string list list }
 
@@ -10,11 +11,35 @@ val table : title:string -> header:string list -> string list list -> unit
 (** Print a titled, column-aligned table to stdout (and record it for
     {!captured}). *)
 
+val render : header:string list -> string list list -> string list
+(** The rendered lines of a table (header, rule, rows) without printing —
+    columns are aligned by {!display_width}, not byte length. *)
+
+val display_width : string -> int
+(** Unicode scalar count of a UTF-8 string — what a monospace terminal
+    renders for the symbols our tables use (e.g. ["Θ(log N)"] is 8, not
+    its 9 bytes). *)
+
+val metric : name:string -> Sim.Json.t -> unit
+(** Record one named metric (e.g. a {!Sim.Stats.to_json} histogram) for
+    the current experiment's JSON file. *)
+
 val reset_captured : unit -> unit
-(** Forget previously captured tables (call before each experiment). *)
+(** Forget previously captured tables and metrics (call before each
+    experiment). *)
 
 val captured : unit -> captured list
 (** Tables printed since the last {!reset_captured}, in print order. *)
+
+val captured_metrics : unit -> (string * Sim.Json.t) list
+(** Metrics recorded since the last {!reset_captured}, in record order. *)
+
+val bench_schema : string
+(** Schema identifier stamped into every [BENCH_E<k>.json] ("rme-bench/1"). *)
+
+val validate_bench : Sim.Json.t -> (unit, string) result
+(** Check a parsed [BENCH_E<k>.json] document against {!bench_schema}:
+    required keys, table shape (string cells), and a metrics object. *)
 
 val f1 : float -> string
 (** Format a float with one decimal. *)

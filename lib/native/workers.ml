@@ -1,3 +1,5 @@
+type sample = { at : float; total_passages : int }
+
 type result = {
   n : int;
   lock_name : string;
@@ -9,10 +11,11 @@ type result = {
   cs_completions : int;
   counter : int;
   elapsed : float;
+  samples : sample array;
 }
 
-let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true) ~n
-    ~passages ~make () =
+let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
+    ?sample_interval ~n ~passages ~make () =
   let crash = Crash.create ~n in
   let lock = make crash ~n in
   let completed = Array.init (n + 1) (fun _ -> Atomic.make 0) in
@@ -70,6 +73,36 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true) ~n
     Crash.worker_done crash ~pid
   in
   let domains = List.init n (fun i -> Domain.spawn (worker (i + 1))) in
+  let unfinished () =
+    Array.exists (fun c -> Atomic.get c < passages) (Array.sub completed 1 n)
+  in
+  (* Periodic throughput sampler: a passive observer thread that reads
+     the per-domain passage counters every [sample_interval] seconds and
+     appends a (wall-clock, total passages) point — the passages/s time
+     series across crash storms. It only reads atomics the monitors
+     already maintain, so arming it cannot perturb the run. *)
+  let samples = ref [] in
+  let sampler =
+    Option.map
+      (fun dt ->
+        let dt = Float.max 0.001 dt in
+        Thread.create
+          (fun () ->
+            while unfinished () do
+              Thread.delay dt;
+              let total =
+                Array.fold_left
+                  (fun acc c -> acc + Atomic.get c)
+                  0
+                  (Array.sub completed 1 n)
+              in
+              samples :=
+                { at = Unix.gettimeofday () -. t0; total_passages = total }
+                :: !samples
+            done)
+          ())
+      sample_interval
+  in
   let crashes = ref 0 in
   (match crash_interval with
   | None -> ()
@@ -84,11 +117,6 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true) ~n
       | None -> dt
       | Some st -> dt *. (0.5 +. Random.State.float st 1.0)
     in
-    let unfinished () =
-      Array.exists
-        (fun c -> Atomic.get c < passages)
-        (Array.sub completed 1 n)
-    in
     while unfinished () && !crashes < max_crashes do
       Unix.sleepf (interval ());
       if unfinished () && !crashes < max_crashes then begin
@@ -97,6 +125,7 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true) ~n
       end
     done);
   List.iter Domain.join domains;
+  Option.iter Thread.join sampler;
   {
     n;
     lock_name = lock.Intf.name;
@@ -108,7 +137,42 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true) ~n
     cs_completions = Atomic.get cs_completions;
     counter = !counter;
     elapsed = Unix.gettimeofday () -. t0;
+    samples = Array.of_list (List.rev !samples);
   }
+
+let metrics r =
+  let total = Array.fold_left ( + ) 0 r.completed in
+  let per_domain =
+    List.tl (Array.to_list (Array.map (fun c -> Sim.Json.Int c) r.completed))
+  in
+  Sim.Json.Obj
+    [
+      ("schema", Sim.Json.Str "rme-native-metrics/1");
+      ("lock", Sim.Json.Str r.lock_name);
+      ("n", Sim.Json.Int r.n);
+      ("completed", Sim.Json.List per_domain);
+      ("total_passages", Sim.Json.Int total);
+      ("crashes", Sim.Json.Int r.crashes);
+      ("me_violations", Sim.Json.Int r.me_violations);
+      ("csr_violations", Sim.Json.Int r.csr_violations);
+      ("csr_reentries", Sim.Json.Int r.csr_reentries);
+      ("cs_completions", Sim.Json.Int r.cs_completions);
+      ("counter", Sim.Json.Int r.counter);
+      ("elapsed_s", Sim.Json.Float r.elapsed);
+      ( "throughput_pps",
+        Sim.Json.Float
+          (if r.elapsed > 0. then float_of_int total /. r.elapsed else 0.) );
+      ( "samples",
+        Sim.Json.List
+          (Array.to_list
+             (Array.map
+                (fun s ->
+                  Sim.Json.List
+                    [ Sim.Json.Float s.at; Sim.Json.Int s.total_passages ])
+                r.samples)) );
+    ]
+
+let metrics_json r = Sim.Json.to_string ~pretty:true (metrics r) ^ "\n"
 
 let check_clean r =
   if r.me_violations > 0 then

@@ -3,6 +3,9 @@
     track the same properties the simulator's driver checks (CS occupancy,
     CSR, lost updates on an intentionally unprotected counter). *)
 
+type sample = { at : float;  (** seconds since the run started *)
+                total_passages : int }
+
 type result = {
   n : int;
   lock_name : string;
@@ -16,6 +19,9 @@ type result = {
       (** protected plain (non-atomic) counter; equals [cs_completions]
           unless mutual exclusion broke *)
   elapsed : float;  (** seconds *)
+  samples : sample array;
+      (** passages/s time series from the periodic sampler; empty unless
+          [sample_interval] was given *)
 }
 
 val run :
@@ -23,6 +29,7 @@ val run :
   ?max_crashes:int ->
   ?seed:int ->
   ?csr_poll:bool ->
+  ?sample_interval:float ->
   n:int ->
   passages:int ->
   make:(Crash.t -> n:int -> Intf.rme) ->
@@ -35,7 +42,18 @@ val run :
     so the crash {e schedule} replays for a given seed (the interleaving
     underneath is still real hardware concurrency). [csr_poll] (default
     true) inserts a crash poll point {e inside} the critical section so
-    crashed-in-CS recovery is actually exercised. *)
+    crashed-in-CS recovery is actually exercised. [sample_interval]
+    (seconds, min 1ms) arms a passive sampler thread that records the
+    total-passage counter periodically ({!result.samples}) — a
+    passages/s time series across crash storms. *)
+
+val metrics : result -> Sim.Json.t
+(** The result as JSON ([rme-native-metrics/1] schema): the monitor
+    counters, per-domain passage counts, overall throughput, and the
+    sampler's time series. *)
+
+val metrics_json : result -> string
+(** {!metrics}, pretty-printed, newline-terminated. *)
 
 val check_clean : result -> (unit, string) Stdlib.result
 (** [Ok ()] iff all workers finished with no ME violations and no lost

@@ -97,7 +97,12 @@ let async t f =
             in
             match claimed with None -> () | Some f -> run_task fut f)
           t.queue;
-        Condition.signal t.wake);
+        (* Broadcast, not signal: awaiters and idle workers park on the
+           same condition variable, so a signal could wake an awaiter
+           (which just re-checks its future and sleeps again) instead of
+           an idle worker, leaving the queued task stranded until the
+           next completion broadcast. *)
+        Condition.broadcast t.wake);
     fut
   end
 

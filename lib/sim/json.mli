@@ -1,0 +1,32 @@
+(** Minimal JSON values, emission and parsing for the observability layer
+    (metrics files, trace exports, the bench schema validator). Emission
+    refuses non-finite floats, so a leaked [infinity]/[neg_infinity]
+    sentinel raises instead of producing invalid JSON. The parser accepts
+    a strict RFC 8259 subset (no comments, no trailing commas). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** must be finite when emitted *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : ?pretty:bool -> Buffer.t -> t -> unit
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces.
+    @raise Invalid_argument on a non-finite [Float]. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k]; [None] for missing
+    keys and non-objects. *)
+
+val to_float_opt : t -> float option
+(** Numeric value of an [Int] or [Float] node. *)

@@ -1,3 +1,12 @@
+type phase = Ncs | Recover | Entry | Cs | Exit
+
+let phase_name = function
+  | Ncs -> "ncs"
+  | Recover -> "recover"
+  | Entry -> "enter"
+  | Cs -> "cs"
+  | Exit -> "exit"
+
 type event =
   | Op of {
       seq : int;
@@ -9,6 +18,7 @@ type event =
     }
   | Crash of { seq : int; epoch : int }
   | Crash_one of { seq : int; pid : int }
+  | Phase of { seq : int; pid : int; phase : phase; begins : bool }
 
 type t = {
   capacity : int;
@@ -42,6 +52,12 @@ let attach t mem =
 let record_crash t ~epoch = push t (Crash { seq = t.total; epoch })
 let record_crash_one t ~pid = push t (Crash_one { seq = t.total; pid })
 
+let phase_begin t ~pid phase =
+  push t (Phase { seq = t.total; pid; phase; begins = true })
+
+let phase_end t ~pid phase =
+  push t (Phase { seq = t.total; pid; phase; begins = false })
+
 let length t = min t.total t.capacity
 let total t = t.total
 
@@ -61,6 +77,10 @@ let pp_event ppf = function
     Format.fprintf ppf "%6d  *** system-wide crash -> epoch %d ***" seq epoch
   | Crash_one { seq; pid } ->
     Format.fprintf ppf "%6d  *** independent crash of p%d ***" seq pid
+  | Phase { seq; pid; phase; begins } ->
+    Format.fprintf ppf "%6d  p%-3d %s %s" seq pid
+      (if begins then "begin" else "end  ")
+      (phase_name phase)
 
 let dump ?last ppf t =
   let evs = events t in
@@ -72,3 +92,156 @@ let dump ?last ppf t =
       List.filteri (fun i _ -> i >= len - k) evs
   in
   List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) evs
+
+(* --- exporters --- *)
+
+(* The exporters are pure functions of the retained events, so a seeded
+   run exports byte-identically every time. *)
+
+let event_json = function
+  | Op { seq; pid; op; cell; value; rmr } ->
+    Json.Obj
+      [
+        ("seq", Json.Int seq);
+        ("type", Json.Str "op");
+        ("pid", Json.Int pid);
+        ("op", Json.Str op);
+        ("cell", Json.Str cell);
+        ("value", Json.Int value);
+        ("rmr", Json.Bool rmr);
+      ]
+  | Crash { seq; epoch } ->
+    Json.Obj
+      [
+        ("seq", Json.Int seq);
+        ("type", Json.Str "crash");
+        ("epoch", Json.Int epoch);
+      ]
+  | Crash_one { seq; pid } ->
+    Json.Obj
+      [
+        ("seq", Json.Int seq);
+        ("type", Json.Str "crash_one");
+        ("pid", Json.Int pid);
+      ]
+  | Phase { seq; pid; phase; begins } ->
+    Json.Obj
+      [
+        ("seq", Json.Int seq);
+        ("type", Json.Str "phase");
+        ("pid", Json.Int pid);
+        ("phase", Json.Str (phase_name phase));
+        ("dir", Json.Str (if begins then "begin" else "end"));
+      ]
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Json.to_buffer b (event_json ev);
+      Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b
+
+(* Chrome trace-event format (catapult JSON, loadable in Perfetto /
+   chrome://tracing): one fake OS process, one thread per simulated
+   process, [seq] as the microsecond timestamp. Ops are 1µs complete
+   events; phases are B/E span pairs; crashes are instant events. Spans
+   cut short by a crash (the fibers are destroyed mid-passage) are closed
+   at the crash step so the B/E stream stays balanced; stray E events
+   whose B fell off the ring are dropped. *)
+let to_chrome t =
+  let evs = events t in
+  let base ?(extra = []) ~name ~ph ~ts ~tid () =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str ph);
+         ("ts", Json.Int ts);
+         ("pid", Json.Int 1);
+         ("tid", Json.Int tid);
+       ]
+      @ extra)
+  in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  (* Per-simulated-process stack of open phase spans. *)
+  let open_spans : (int, phase list) Hashtbl.t = Hashtbl.create 8 in
+  let pids_seen = ref [] in
+  let see pid = if not (List.mem pid !pids_seen) then pids_seen := pid :: !pids_seen in
+  let close_spans ~ts pid =
+    List.iter
+      (fun phase -> emit (base ~name:(phase_name phase) ~ph:"E" ~ts ~tid:pid ()))
+      (Option.value ~default:[] (Hashtbl.find_opt open_spans pid));
+    Hashtbl.replace open_spans pid []
+  in
+  let close_all ~ts =
+    List.iter (close_spans ~ts) (List.sort compare !pids_seen)
+  in
+  let last_seq = ref 0 in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Op { seq; _ } | Crash { seq; _ } | Crash_one { seq; _ }
+      | Phase { seq; _ } ->
+        last_seq := seq);
+      match ev with
+      | Op { seq; pid; op; cell; value; rmr } ->
+        see pid;
+        emit
+          (base
+             ~extra:
+               [
+                 ("dur", Json.Int 1);
+                 ( "args",
+                   Json.Obj
+                     [ ("value", Json.Int value); ("rmr", Json.Bool rmr) ] );
+               ]
+             ~name:(op ^ " " ^ cell) ~ph:"X" ~ts:seq ~tid:pid ())
+      | Phase { seq; pid; phase; begins = true } ->
+        see pid;
+        Hashtbl.replace open_spans pid
+          (phase :: Option.value ~default:[] (Hashtbl.find_opt open_spans pid));
+        emit (base ~name:(phase_name phase) ~ph:"B" ~ts:seq ~tid:pid ())
+      | Phase { seq; pid; phase; begins = false } -> (
+        see pid;
+        match Hashtbl.find_opt open_spans pid with
+        | Some (_ :: rest) ->
+          Hashtbl.replace open_spans pid rest;
+          emit (base ~name:(phase_name phase) ~ph:"E" ~ts:seq ~tid:pid ())
+        | _ -> () (* matching B fell off the ring: drop *))
+      | Crash { seq; epoch } ->
+        close_all ~ts:seq;
+        emit
+          (base
+             ~extra:
+               [ ("s", Json.Str "g"); ("args", Json.Obj [ ("epoch", Json.Int epoch) ]) ]
+             ~name:"system-wide crash" ~ph:"i" ~ts:seq ~tid:0 ())
+      | Crash_one { seq; pid } ->
+        see pid;
+        close_spans ~ts:seq pid;
+        emit
+          (base ~extra:[ ("s", Json.Str "t") ] ~name:"independent crash"
+             ~ph:"i" ~ts:seq ~tid:pid ()))
+    evs;
+  close_all ~ts:(!last_seq + 1);
+  (* Thread-name metadata so viewers label tracks p1..pN. *)
+  let metadata =
+    List.map
+      (fun pid ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int pid);
+            ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "p%d" pid)) ]);
+          ])
+      (List.sort compare !pids_seen)
+  in
+  Json.to_string ~pretty:true
+    (Json.Obj
+       [
+         ("displayTimeUnit", Json.Str "ms");
+         ("traceEvents", Json.List (metadata @ List.rev !out));
+       ])

@@ -3,12 +3,23 @@
 
     Attach a trace to a memory with {!attach} before running; every
     shared-memory operation is recorded (who, what, which cell, the
-    result, whether it was charged as an RMR), and the runtime records
-    crash steps via {!record_crash}. The log is a ring buffer: only the
-    most recent [capacity] events are kept, so tracing long runs is safe.
+    result, whether it was charged as an RMR), the runtime records crash
+    steps via {!record_crash}, and drivers may mark passage phases
+    (NCS/recover/enter/CS/exit) with {!phase_begin}/{!phase_end} — plain
+    bookkeeping calls that add no shared-memory operations, so recording
+    phases never perturbs schedules or RMR accounting. The log is a ring
+    buffer: only the most recent [capacity] events are kept, so tracing
+    long runs is safe.
 
-    Events are plain data — render them with {!pp_event} / {!dump}, or
-    fold over them for custom analyses. *)
+    Events are plain data — render them with {!pp_event} / {!dump},
+    export them with {!to_jsonl} / {!to_chrome}, or fold over them for
+    custom analyses. Exports are pure functions of the retained events:
+    a seeded run exports byte-identically every time. *)
+
+(** Passage phases, in passage order. *)
+type phase = Ncs | Recover | Entry | Cs | Exit
+
+val phase_name : phase -> string
 
 type event =
   | Op of {
@@ -21,6 +32,7 @@ type event =
     }
   | Crash of { seq : int; epoch : int }  (** system-wide; [epoch] is new *)
   | Crash_one of { seq : int; pid : int }  (** independent failure *)
+  | Phase of { seq : int; pid : int; phase : phase; begins : bool }
 
 type t
 
@@ -33,6 +45,9 @@ val attach : t -> Memory.t -> unit
 
 val record_crash : t -> epoch:int -> unit
 val record_crash_one : t -> pid:int -> unit
+
+val phase_begin : t -> pid:int -> phase -> unit
+val phase_end : t -> pid:int -> phase -> unit
 
 val length : t -> int
 (** Events currently retained (≤ capacity). *)
@@ -47,3 +62,12 @@ val pp_event : Format.formatter -> event -> unit
 
 val dump : ?last:int -> Format.formatter -> t -> unit
 (** Print the [last] retained events (default: all retained). *)
+
+val to_jsonl : t -> string
+(** One compact JSON object per retained event, newline-separated. *)
+
+val to_chrome : t -> string
+(** Chrome trace-event JSON (Perfetto / chrome://tracing loadable): one
+    thread per simulated process with [seq] as the µs timestamp, ops as
+    1µs complete events, phases as B/E spans (spans interrupted by a
+    crash are closed at the crash step) and crashes as instant events. *)

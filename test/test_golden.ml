@@ -85,7 +85,7 @@ let golden_prefix () =
       (function
         | Trace.Op { pid; op; cell; value; rmr; _ } ->
           Some (pid, op, cell, value, rmr)
-        | Trace.Crash _ | Trace.Crash_one _ -> None)
+        | Trace.Crash _ | Trace.Crash_one _ | Trace.Phase _ -> None)
       (Trace.events tr)
   in
   List.iteri

@@ -1,0 +1,352 @@
+(* Tests for the observability layer: the hand-rolled JSON codec, the
+   trace exporters (JSONL + Chrome trace-event), the driver's metrics
+   document, table rendering with UTF-8 widths, and the bench-JSON
+   validator. The load-bearing property throughout is *passive
+   determinism*: exporters are pure functions of seeded runs, so the same
+   seed must produce byte-identical artifacts — including while a busy
+   domain pool runs unrelated work, which is what `--jobs` independence
+   means for the artifacts. *)
+
+open Sim
+open Testutil
+module Driver = Harness.Driver
+module Report = Harness.Report
+module Pool = Parallel.Pool
+
+(* --- Json --- *)
+
+let json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd\te\xc3\xa9");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("null", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  let compact = Json.to_string doc in
+  let pretty = Json.to_string ~pretty:true doc in
+  Alcotest.(check bool) "roundtrip compact" true (Json.parse compact = doc);
+  Alcotest.(check bool) "roundtrip pretty" true (Json.parse pretty = doc);
+  (* Integral floats are emitted without a decimal point, so they
+     normalize to Int through a roundtrip — histogram bounds etc. stay
+     clean integers in the artifacts. *)
+  Alcotest.(check bool) "integral float normalizes" true
+    (Json.parse (Json.to_string (Json.Float 12345.0)) = Json.Int 12345)
+
+let json_parse_escapes () =
+  (match Json.parse "\"caf\\u00e9 \\ud83d\\ude00\"" with
+  | Json.Str s ->
+    Alcotest.(check string) "unicode escapes" "caf\xc3\xa9 \xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected a string");
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted invalid JSON %S" bad)
+    [ "{"; "[1,]"; "nul"; "\"a"; "1 2"; "{\"a\":}" ]
+
+let json_rejects_non_finite () =
+  List.iter
+    (fun f ->
+      match Json.to_string (Json.Float f) with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.failf "emitted %s for a non-finite float" s)
+    [ Float.infinity; Float.neg_infinity; Float.nan ]
+
+(* --- trace exporters --- *)
+
+(* The `rme trace` scenario: a lock stack under a seeded uniform schedule
+   with periodic system-wide crashes, passage phases marked. *)
+let traced_run ?(steps = 400) ?(seed = 9) () =
+  let mem = Memory.create ~model:Memory.Cc ~n:3 in
+  let tr = Trace.create () in
+  Trace.attach tr mem;
+  let lock = Rme.Stack.recoverable mem "t1-mcs" in
+  let span ~pid phase f =
+    Trace.phase_begin tr ~pid phase;
+    f ();
+    Trace.phase_end tr ~pid phase
+  in
+  let body ~pid ~epoch =
+    while true do
+      span ~pid Trace.Recover (fun () -> lock.Rme.Rme_intf.recover ~pid ~epoch);
+      span ~pid Trace.Entry (fun () -> lock.Rme.Rme_intf.enter ~pid ~epoch);
+      span ~pid Trace.Cs (fun () -> ());
+      span ~pid Trace.Exit (fun () -> lock.Rme.Rme_intf.exit ~pid ~epoch)
+    done
+  in
+  let rt = Runtime.create mem ~body in
+  Runtime.on_crash rt (fun ~epoch -> Trace.record_crash tr ~epoch);
+  let schedule =
+    Schedule.with_crashes ~every:97 (Schedule.uniform ~seed)
+  in
+  let rec loop () =
+    if Runtime.clock rt < steps then
+      match Runtime.enabled rt with
+      | [] -> ()
+      | en -> (
+        match schedule ~clock:(Runtime.clock rt) ~enabled:en with
+        | Some (Schedule.Step pid) ->
+          Runtime.step rt pid;
+          loop ()
+        | Some Schedule.Crash ->
+          Runtime.crash rt ();
+          loop ()
+        | Some (Schedule.Crash_one pid) ->
+          Runtime.crash_one rt pid;
+          Trace.record_crash_one tr ~pid;
+          loop ()
+        | None -> ())
+  in
+  loop ();
+  tr
+
+let exports_are_byte_stable () =
+  let tr1 = traced_run () in
+  let tr2 = traced_run () in
+  Alcotest.(check string) "jsonl" (Trace.to_jsonl tr1) (Trace.to_jsonl tr2);
+  Alcotest.(check string) "chrome" (Trace.to_chrome tr1) (Trace.to_chrome tr2);
+  (* ... and a busy pool on other domains must not perturb them (the
+     artifact-level face of the `--jobs` independence contract). *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let busy =
+        List.init 6 (fun i ->
+            Pool.async pool (fun () ->
+                (run_stack ~n:3 ~passages:10 ~seed:(50 + i)
+                   ~model:Memory.Dsm "t3-mcs")
+                  .Driver.total_steps))
+      in
+      let tr3 = traced_run () in
+      Alcotest.(check string) "jsonl under pool" (Trace.to_jsonl tr1)
+        (Trace.to_jsonl tr3);
+      Alcotest.(check string) "chrome under pool" (Trace.to_chrome tr1)
+        (Trace.to_chrome tr3);
+      List.iter (fun f -> ignore (Pool.await f)) busy)
+
+let chrome_export_is_valid_and_balanced () =
+  let tr = traced_run () in
+  let doc = Json.parse (Trace.to_chrome tr) in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 10);
+  (* Every event is well-formed; B/E spans balance per thread. *)
+  let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let str k =
+        match Json.member k ev with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.failf "event missing string %S" k
+      in
+      let int k =
+        match Json.member k ev with
+        | Some (Json.Int i) -> i
+        | _ -> Alcotest.failf "event missing int %S" k
+      in
+      let ph = str "ph" in
+      Alcotest.(check bool)
+        ("known ph " ^ ph)
+        true
+        (List.mem ph [ "M"; "X"; "B"; "E"; "i" ]);
+      if ph <> "M" then ignore (int "ts");
+      let tid = int "tid" in
+      match ph with
+      | "B" -> Hashtbl.replace depth tid (1 + Option.value ~default:0 (Hashtbl.find_opt depth tid))
+      | "E" ->
+        let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+        Alcotest.(check bool) "E has matching B" true (d > 0);
+        Hashtbl.replace depth tid (d - 1)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun tid d -> Alcotest.(check int) (Printf.sprintf "tid %d balanced" tid) 0 d)
+    depth;
+  (* The crash schedule fired, and the exporter recorded it. *)
+  let crashes =
+    List.filter
+      (fun ev -> Json.member "ph" ev = Some (Json.Str "i"))
+      events
+  in
+  Alcotest.(check bool) "crash instants present" true (crashes <> [])
+
+let jsonl_lines_parse () =
+  let tr = traced_run () in
+  let lines =
+    String.split_on_char '\n' (Trace.to_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" (Trace.length tr)
+    (List.length lines);
+  List.iter
+    (fun l ->
+      match Json.parse l with
+      | Json.Obj kvs ->
+        Alcotest.(check bool) "has seq+type" true
+          (List.mem_assoc "seq" kvs && List.mem_assoc "type" kvs)
+      | _ -> Alcotest.fail "JSONL line is not an object")
+    lines
+
+(* --- driver metrics --- *)
+
+let crashy_report seed =
+  run_stack ~n:4 ~passages:15 ~seed ~model:Memory.Cc
+    ~schedule:
+      (Schedule.with_crashes ~every:700 (Schedule.uniform ~seed))
+    "t1-mcs"
+
+let driver_metrics_stable_across_jobs () =
+  let quiet = Driver.metrics_json (crashy_report 21) in
+  (* Same seed, same bytes — sequentially and on pools of any width. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let docs =
+            Pool.map pool
+              (fun seed -> Driver.metrics_json (crashy_report seed))
+              [ 21; 22; 21 ]
+          in
+          match docs with
+          | [ a; _; c ] ->
+            Alcotest.(check string)
+              (Printf.sprintf "jobs=%d replays" jobs)
+              quiet a;
+            Alcotest.(check string)
+              (Printf.sprintf "jobs=%d self-consistent" jobs)
+              a c
+          | _ -> assert false))
+    [ 1; 4 ]
+
+let metrics_json_is_finite_and_valid () =
+  (* A failure-free run leaves every recovery histogram empty — exactly
+     where the old ±inf sentinels used to leak. *)
+  let r = run_stack ~n:3 ~passages:8 ~seed:5 ~model:Memory.Cc "t1-mcs" in
+  let s = Driver.metrics_json r in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun bad ->
+      if contains bad s then Alcotest.failf "metrics JSON contains %S" bad)
+    [ "inf"; "nan"; "Infinity"; "NaN" ];
+  match Json.parse s with
+  | Json.Obj kvs ->
+    Alcotest.(check bool) "schema" true
+      (List.assoc_opt "schema" kvs = Some (Json.Str "rme-metrics/1"));
+    Alcotest.(check bool) "histograms" true (List.mem_assoc "histograms" kvs)
+  | _ -> Alcotest.fail "metrics is not an object"
+
+(* --- report rendering --- *)
+
+let display_width_counts_scalars () =
+  Alcotest.(check int) "ascii" 5 (Report.display_width "hello");
+  Alcotest.(check int) "theta" 8 (Report.display_width "\xce\x98(log N)");
+  Alcotest.(check int) "empty" 0 (Report.display_width "");
+  Alcotest.(check int) "emoji" 1 (Report.display_width "\xf0\x9f\x98\x80")
+
+let render_aligns_utf8 () =
+  let lines =
+    Report.render
+      ~header:[ "algorithm"; "bound" ]
+      [ [ "mcs"; "\xce\x98(1)" ]; [ "bakery"; "\xce\x98(N)" ] ]
+  in
+  (match lines with
+  | _ :: _ :: _ -> ()
+  | _ -> Alcotest.fail "expected header, rule and rows");
+  let widths = List.map Report.display_width lines in
+  List.iter
+    (fun w -> Alcotest.(check int) "line width" (List.hd widths) w)
+    widths
+
+(* --- bench JSON validator --- *)
+
+let minimal_bench ?(schema = Report.bench_schema) () =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("experiment", Json.Str "e1");
+      ("jobs", Json.Int 2);
+      ("wall_clock_s", Json.Float 1.5);
+      ( "tables",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("title", Json.Str "t");
+                ("header", Json.List [ Json.Str "a" ]);
+                ( "rows",
+                  Json.List [ Json.List [ Json.Str "1" ] ] );
+              ];
+          ] );
+      ("metrics", Json.Obj [ ("m", Json.Obj [ ("count", Json.Int 0) ]) ]);
+    ]
+
+let validator_accepts_and_rejects () =
+  (match Report.validate_bench (minimal_bench ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid doc rejected: %s" e);
+  let rejects what doc =
+    match Report.validate_bench doc with
+    | Ok () -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  rejects "wrong schema" (minimal_bench ~schema:"rme-bench/0" ());
+  rejects "non-object" (Json.List []);
+  (match minimal_bench () with
+  | Json.Obj kvs ->
+    rejects "missing tables"
+      (Json.Obj (List.filter (fun (k, _) -> k <> "tables") kvs));
+    rejects "non-string cell"
+      (Json.Obj
+         (List.map
+            (function
+              | "tables", _ ->
+                ( "tables",
+                  Json.List
+                    [
+                      Json.Obj
+                        [
+                          ("title", Json.Str "t");
+                          ("header", Json.List [ Json.Str "a" ]);
+                          ("rows", Json.List [ Json.List [ Json.Int 1 ] ]);
+                        ];
+                    ] )
+              | kv -> kv)
+            kvs))
+  | _ -> assert false)
+
+let () =
+  Alcotest.run "observability"
+    [
+      ( "json",
+        [
+          case "roundtrip" json_roundtrip;
+          case "escapes" json_parse_escapes;
+          case "non-finite" json_rejects_non_finite;
+        ] );
+      ( "trace-export",
+        [
+          case "byte-stable" exports_are_byte_stable;
+          case "chrome-valid" chrome_export_is_valid_and_balanced;
+          case "jsonl-lines" jsonl_lines_parse;
+        ] );
+      ( "metrics",
+        [
+          case "stable-across-jobs" driver_metrics_stable_across_jobs;
+          case "finite-and-valid" metrics_json_is_finite_and_valid;
+        ] );
+      ( "report",
+        [
+          case "display-width" display_width_counts_scalars;
+          case "render-utf8" render_aligns_utf8;
+        ] );
+      ("validator", [ case "accepts-and-rejects" validator_accepts_and_rejects ]);
+    ]

@@ -155,6 +155,60 @@ let shared_pool_reuse () =
       in
       check_outcome (name2 ^ " shared-pool") (f2 ~jobs:1) got2)
 
+(* Lost-wakeup regression: awaiters and idle workers park on the same
+   condition variable, so [async]'s wakeup must be a broadcast. With a
+   single [Condition.signal], the scenario below could hand the wakeup to
+   a parked awaiter (which just re-checks its future and sleeps again)
+   while the queued unblocker task — the only thing that lets [slow]
+   finish — sat stranded until a completion broadcast that never comes. *)
+let broadcast_reaches_idle_workers () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let release = Atomic.make false in
+      let slow =
+        Pool.async pool (fun () ->
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            1)
+      in
+      Unix.sleepf 0.02 (* let a worker claim [slow] *);
+      let awaiters =
+        List.init 2 (fun _ -> Domain.spawn (fun () -> Pool.await slow))
+      in
+      Unix.sleepf 0.02 (* park the awaiters on the condvar *);
+      let unblocker =
+        Pool.async pool (fun () ->
+            Atomic.set release true;
+            2)
+      in
+      Alcotest.(check int) "slow finishes" 1 (Pool.await slow);
+      Alcotest.(check int) "unblocker ran" 2 (Pool.await unblocker);
+      List.iter
+        (fun d -> Alcotest.(check int) "awaiter sees result" 1 (Domain.join d))
+        awaiters)
+
+(* Many awaiters hammering many futures from outside the pool: every
+   future must resolve and every awaiter must observe the same value. *)
+let many_awaiters_stress () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for round = 0 to 9 do
+        let futs =
+          List.init 16 (fun i -> Pool.async pool (fun () -> (round * 100) + i))
+        in
+        let watchers =
+          List.init 3 (fun _ ->
+              Domain.spawn (fun () -> List.map Pool.await futs))
+        in
+        let expect = List.init 16 (fun i -> (round * 100) + i) in
+        Alcotest.(check (list int)) "main sees all" expect
+          (List.map Pool.await futs);
+        List.iter
+          (fun d ->
+            Alcotest.(check (list int)) "watcher sees all" expect
+              (Domain.join d))
+          watchers
+      done)
+
 (* The pool must not perturb an unrelated seeded simulation running on the
    main domain (the property test_golden.ml pins at step granularity):
    drive the same driver run with and without busy workers and compare
@@ -193,6 +247,8 @@ let () =
           case "map-exceptions" map_propagates_exceptions;
           case "cancel-then-await" await_after_cancel_still_answers;
           case "shutdown-idempotent" shutdown_is_idempotent;
+          case "broadcast-wakes-workers" broadcast_reaches_idle_workers;
+          case "many-awaiters" many_awaiters_stress;
         ] );
       ("explore-determinism", List.map explore_case scenarios);
       ( "isolation",

@@ -469,6 +469,55 @@ let stats_summary () =
   check "merged count" 4 (Stats.count m);
   check "merged max" 10 (Stats.max_int m)
 
+(* Empty accumulators must never leak the internal ±infinity sentinels —
+   they used to escape through [max]/[min] and poison JSON output. *)
+let stats_empty_sentinels () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.)) "empty max" 0. (Stats.max s);
+  Alcotest.(check (float 0.)) "empty min" 0. (Stats.min s);
+  check "empty max_int" 0 (Stats.max_int s);
+  Alcotest.(check (float 0.)) "empty p50" 0. (Stats.percentile s 50.);
+  let rendered = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check string) "empty pp" "n=0" rendered;
+  (* to_json of an empty accumulator must be valid, finite JSON. *)
+  ignore (Json.to_string (Stats.to_json s));
+  let m = Stats.merge s (Stats.create ()) in
+  Alcotest.(check (float 0.)) "merged empty max" 0. (Stats.max m)
+
+let stats_percentiles () =
+  let s = Stats.create () in
+  for v = 1 to 100 do
+    Stats.add_int s v
+  done;
+  (* Values below 64 sit in exact buckets; p100 is the exact max. *)
+  Alcotest.(check (float 0.)) "p1" 1. (Stats.percentile s 1.);
+  Alcotest.(check (float 0.)) "p50" 50. (Stats.percentile s 50.);
+  Alcotest.(check (float 0.)) "p100" 100. (Stats.percentile s 100.);
+  (* Above the exact range the quantization error stays under 12.5%. *)
+  let big = Stats.create () in
+  List.iter (Stats.add_int big) [ 1_000; 10_000; 100_000; 1_000_000 ];
+  List.iteri
+    (fun i v ->
+      let p = 100. *. float_of_int (i + 1) /. 4. in
+      let got = Stats.percentile big p in
+      let v = float_of_int v in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within 12.5%%" p)
+        true
+        (got >= v && got <= v *. 1.125))
+    [ 1_000; 10_000; 100_000; 1_000_000 ];
+  (* merge sums the histograms, not just the summaries. *)
+  let a = Stats.create () and b = Stats.create () in
+  for _ = 1 to 90 do
+    Stats.add_int a 1
+  done;
+  for _ = 1 to 10 do
+    Stats.add_int b 40
+  done;
+  let m = Stats.merge a b in
+  Alcotest.(check (float 0.)) "merged p50" 1. (Stats.percentile m 50.);
+  Alcotest.(check (float 0.)) "merged p99" 40. (Stats.percentile m 99.)
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -517,5 +566,10 @@ let () =
           case "ring-buffer" trace_ring_keeps_most_recent;
           case "detach" trace_detach;
         ] );
-      ("stats", [ case "summary" stats_summary ]);
+      ( "stats",
+        [
+          case "summary" stats_summary;
+          case "empty-sentinels" stats_empty_sentinels;
+          case "percentiles" stats_percentiles;
+        ] );
     ]
