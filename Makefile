@@ -1,7 +1,7 @@
 # Tier-1 verification plus the parallel-engine smoke test. `make ci` is
 # what .github/workflows/ci.yml runs; keep the two in sync.
 
-.PHONY: all build test differential bench-smoke e10-smoke trace-sample validate ci clean
+.PHONY: all build test differential bench-smoke e10-smoke trace-sample validate baselines deep-check ci clean
 
 all: build
 
@@ -18,14 +18,49 @@ test: build
 differential: build
 	dune exec test/test_differential.exe
 
-# E1 exercises the sweep fan-out, E9 the parallel model checker, both on a
-# 2-worker pool. Any safety violation (assert_ok) or E9 expectation
-# mismatch (a clean row reporting a violation, or a known-negative row
-# failing to find one) makes the binary exit non-zero. The emitted
-# BENCH_E*.json are then checked against the rme-bench/1 schema.
+# E1 exercises the sweep fan-out, E9 the parallel model checker, E12 the
+# reduction engine, all on a 2-worker pool. Any safety violation
+# (assert_ok), E9/E12 expectation mismatch (a clean row reporting a
+# violation, a known-negative row failing to find one, or the reduction
+# ratio collapsing) makes the binary exit non-zero. The emitted
+# BENCH_E*.json are then schema-checked AND diffed against the committed
+# bench/baselines/ — safety columns byte-exact, other numeric cells
+# within a 10% band (all three tables are seeded/DFS-deterministic, so
+# any drift means behaviour actually changed; if it changed on purpose,
+# `make baselines` regenerates the expectation — say why in the PR).
 bench-smoke: build
-	dune exec bench/main.exe -- e1 e9 --jobs 2
-	dune exec bench/validate.exe -- BENCH_E1.json BENCH_E9.json
+	dune exec bench/main.exe -- e1 e9 e12 --jobs 2
+	dune exec bench/validate.exe -- --baseline bench/baselines \
+	  BENCH_E1.json BENCH_E9.json BENCH_E12.json
+
+# Refresh the committed expectations after a deliberate behaviour change.
+baselines: build
+	dune exec bench/main.exe -- e1 e9 e12 --jobs 2
+	cp BENCH_E1.json BENCH_E9.json BENCH_E12.json bench/baselines/
+
+# The nightly deep model-check: the E9/E12 roster's algorithm stacks at
+# larger bounds than CI's smoke run can afford, made tractable by
+# --reduce por. Each search drops a machine-readable outcome JSON into
+# deep-check/ (violations included verbatim); the nightly workflow
+# uploads that directory as an artifact. Exit is non-zero iff any clean
+# search reports a violation.
+deep-check: build
+	mkdir -p deep-check
+	dune exec bin/rme_cli.exe -- model-check --stack t2-mcs -n 3 -d 2 -c 1 \
+	  --reduce por --out deep-check/t2-mcs-n3-d2-c1.json
+	dune exec bin/rme_cli.exe -- model-check --stack t3-mcs -n 3 -d 2 -c 1 \
+	  --reduce por --out deep-check/t3-mcs-n3-d2-c1.json
+	dune exec bin/rme_cli.exe -- model-check --stack t3-mcs --model dsm -n 2 \
+	  -d 2 -c 2 --max-runs 1000000 --reduce por \
+	  --out deep-check/t3-mcs-dsm-n2-d2-c2.json
+	dune exec bin/rme_cli.exe -- model-check --stack t1-mcs -n 3 -d 2 -c 1 \
+	  --no-csr --reduce por --out deep-check/t1-mcs-n3-d2-c1.json
+	dune exec bin/rme_cli.exe -- model-check --stack rclh-fasas -n 2 -d 2 \
+	  --co 2 --reduce por --out deep-check/rclh-fasas-n2-d2-co2.json
+	dune exec bin/rme_cli.exe -- model-check --scenario barrier -n 3 -d 3 -c 2 \
+	  --reduce por --out deep-check/barrier-n3-d3-c2.json
+	dune exec bin/rme_cli.exe -- model-check --scenario barrier-sub -n 3 \
+	  --model dsm -d 3 --reduce por --out deep-check/barrier-sub-n3-d3.json
 
 # Standalone schema check over whatever BENCH_E*.json are lying around.
 validate: build
@@ -48,3 +83,4 @@ ci: build test differential bench-smoke e10-smoke trace-sample
 clean:
 	dune clean
 	rm -f BENCH_E*.json trace_sample.json
+	rm -rf deep-check

@@ -719,6 +719,118 @@ let native_contended () =
          List.map (fun name -> row ~n:4 ~crash_interval:0.001 name) registry;
        ])
 
+(* E12: state-space reduction evaluation. Each roster scenario is
+   explored three times — reduce none / dedup / por — at identical
+   bounds, with [~jobs:1] inside each explore so every cell is fully
+   deterministic (the pool parallelizes *across* cells, which are
+   independent searches). The table is the evidence for DESIGN.md §5.13:
+   verdicts are identical at every level while the executed-schedule
+   count collapses; the two EXPECTED rows show the known-negative
+   ablations are still flagged after reduction. Wall-clock per cell goes
+   to the metrics (machine-dependent, so it stays out of the table).
+   Violated expectations or a sub-5x best ratio abort the bench with a
+   non-zero exit, like E9's expectation checks. *)
+let reduction_sweep ~pool () =
+  let module MC = Harness.Model_check in
+  let levels = [ MC.No_reduction; MC.Dedup; MC.Por ] in
+  let rme ?(check_csr = true) stack n model =
+    Harness.Scenarios.rme ~check_csr ~n ~model
+      ~make:(fun mem -> Rme.Stack.recoverable mem stack)
+      ()
+  in
+  (* (name, expect_violation, stop_on_first, d, c, co, scenario). The
+     EXPECTED rows use stop_on_first — their full trees are enormous and
+     only the verdict matters; their run counts are excluded from the
+     ratio check. *)
+  let roster =
+    [
+      ("T2 stack, n=2 CC, d2 c1", false, false, 2, 1, 0, rme "t2-mcs" 2 Memory.Cc);
+      ("T3 stack, n=3 CC, d1 c1", false, false, 1, 1, 0, rme "t3-mcs" 3 Memory.Cc);
+      ( "FASAS-CLH, n=2 CC, d1, 2 indep. crashes", false, false, 1, 0, 2,
+        rme "rclh-fasas" 2 Memory.Cc );
+      ( "Barrier, n=2 DSM, 3 epochs, d1 c2", false, false, 1, 2, 0,
+        Harness.Scenarios.barrier ~epochs:3 ~n:2 ~model:Memory.Dsm () );
+      ( "T1(MCS) CSR, n=2 CC, d2 c1 — EXPECTED violation", true, true, 2, 1, 0,
+        rme "t1-mcs" 2 Memory.Cc );
+      ( "T3 literal line 97, n=3 CC, d2 — EXPECTED deadlock", true, true, 2, 0,
+        0, rme "t3-mcs-literal" 3 Memory.Cc );
+    ]
+  in
+  let cells =
+    Pool.map pool
+      (fun ((_, _, stop_on_first, d, c, co, sc), level) ->
+        let t0 = Unix.gettimeofday () in
+        let o =
+          MC.explore ~divergence_bound:d ~crash_bound:c ~crash_one_bound:co
+            ~max_runs:600_000 ~stop_on_first ~reduction:level ~jobs:1 sc
+        in
+        (o, Unix.gettimeofday () -. t0))
+      (cross roster levels)
+  in
+  let best_ratio = ref 0. in
+  let rows =
+    List.concat
+      (List.map2
+         (fun (name, expect, stop_on_first, _, _, _, _) per_level ->
+           let outcomes = List.map fst per_level in
+           List.iter
+             (fun (o : MC.outcome) ->
+               match (expect, o.MC.violations) with
+               | true, [] ->
+                 failwith
+                   ("E12: " ^ name ^ ": expected a violation, search found none")
+               | false, v :: _ ->
+                 failwith ("E12: " ^ name ^ ": unexpected violation: " ^ v)
+               | true, _ :: _ | false, [] -> ())
+             outcomes;
+           (match outcomes with
+           | [ none; _; por ] when (not expect) && not stop_on_first ->
+             best_ratio :=
+               Float.max !best_ratio
+                 (float_of_int none.MC.runs /. float_of_int (max 1 por.MC.runs))
+           | _ -> ());
+           List.map2
+             (fun level ((o : MC.outcome), wall) ->
+               Report.metric
+                 ~name:
+                   (Printf.sprintf "e12.%s.%s.wall_s" name
+                      (MC.reduction_to_string level))
+                 (Sim.Json.Float (Float.round (wall *. 1000.) /. 1000.));
+               [
+                 name;
+                 MC.reduction_to_string level;
+                 string_of_int o.MC.runs ^ (if o.MC.truncated then "+" else "");
+                 string_of_int o.MC.steps;
+                 string_of_int o.MC.distinct_states;
+                 string_of_int o.MC.pruned_runs;
+                 string_of_int o.MC.pruned_branches;
+                 (match o.MC.violations with [] -> "none" | v :: _ -> v);
+               ])
+             levels per_level)
+         roster
+         (chunks (List.length levels) cells))
+  in
+  Report.metric ~name:"e12.best_none_over_por_ratio"
+    (Sim.Json.Float (Float.round (!best_ratio *. 100.) /. 100.));
+  if !best_ratio < 5. then
+    failwith
+      (Printf.sprintf
+         "E12: best none/por executed-schedule ratio %.2f is below the \
+          claimed 5x"
+         !best_ratio);
+  Report.table
+    ~title:
+      "E12: state-space reduction (same bounds per scenario; sequential \
+       searches, so every count is deterministic); expected: identical \
+       verdicts down each scenario's three rows, EXPECTED rows flagged at \
+       every level"
+    ~header:
+      [
+        "scenario"; "reduce"; "runs"; "steps"; "states"; "pruned runs";
+        "POR skips"; "violations";
+      ]
+    rows
+
 (* E10 deliberately ignores the pool: it spawns its own worker domains
    and measures wall-clock, so sharing cores with bench workers would
    corrupt the numbers. *)
@@ -738,4 +850,5 @@ let all : (string * (pool:Pool.t -> unit)) list =
         native_uncontended_bechamel ();
         native_contended () );
     ("e11", fun ~pool -> failure_model_separation ~pool ());
+    ("e12", fun ~pool -> reduction_sweep ~pool ());
   ]

@@ -1,8 +1,32 @@
-(* Schema validator for the harness's machine-readable artifacts:
-   [validate.exe FILE ...] parses each file and checks it against the
-   "rme-bench/1" shape (Report.validate_bench). With no arguments it
-   globs BENCH_E*.json in the current directory. Exit 0 iff every file
-   is valid; CI runs this over the smoke benches. *)
+(* Validator / regression gate for the harness's machine-readable
+   artifacts.
+
+     validate.exe [FILE ...]
+     validate.exe --baseline DIR [--tolerance F] [FILE ...]
+
+   Without [--baseline] it parses each file and checks it against the
+   "rme-bench/1" shape (Report.validate_bench); with no FILE arguments it
+   globs BENCH_E*.json in the current directory.
+
+   With [--baseline DIR] it additionally compares each (valid) fresh file
+   against DIR/<basename> — the committed expectation, see
+   bench/baselines/ — table by table:
+
+   - table count, titles and headers must match exactly (schema drift);
+   - each row's first cell (the configuration label) must match;
+   - {e safety cells} — any column whose header mentions violations, lost
+     updates, deadlocks, wedged/finished runs or CSR — must match
+     byte-for-byte: a safety count drifting from its committed value
+     fails the gate even if it "improves";
+   - other numeric cells (a trailing '+' truncation marker is stripped)
+     must agree within [--tolerance] (relative, default 0.10);
+   - remaining cells must match exactly.
+
+   Files with no committed baseline are reported and skipped — committing
+   a baseline is how an experiment opts into the gate. [jobs],
+   [wall_clock_s] and [metrics] are never compared (machine-dependent).
+   Exit 0 iff every file is schema-valid and every gated comparison
+   passes; CI's bench-smoke keys on this. *)
 
 let bench_files () =
   Sys.readdir "."
@@ -19,32 +43,173 @@ let read_file file =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let validate file =
+let parse_doc file =
   match Sim.Json.parse (read_file file) with
   | exception Sys_error e ->
     Printf.printf "%s: FAIL (%s)\n" file e;
-    false
+    None
   | exception Sim.Json.Parse_error e ->
     Printf.printf "%s: FAIL (not valid JSON: %s)\n" file e;
-    false
+    None
   | doc -> (
     match Harness.Report.validate_bench doc with
-    | Ok () ->
-      Printf.printf "%s: ok\n" file;
-      true
+    | Ok () -> Some doc
     | Error e ->
       Printf.printf "%s: FAIL (%s)\n" file e;
-      false)
+      None)
+
+(* --- baseline comparison --- *)
+
+let contains ~needle hay =
+  let hay = String.lowercase_ascii hay in
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+(* Columns whose drift is a correctness regression, never noise. *)
+let safety_header h =
+  List.exists
+    (fun needle -> contains ~needle h)
+    [ "viol"; "lost"; "deadlock"; "wedged"; "finished"; "csr"; "crash" ]
+
+let number_of_cell s =
+  (* Accept the harness's "12345+" truncation marker. *)
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = '+' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  float_of_string_opt s
+
+(* The validated schema guarantees the shapes destructured here. *)
+let tables doc =
+  match Sim.Json.member "tables" doc with
+  | Some (Sim.Json.List ts) ->
+    List.map
+      (fun t ->
+        let str = function Sim.Json.Str s -> s | _ -> assert false in
+        let strs = function
+          | Sim.Json.List xs -> List.map str xs
+          | _ -> assert false
+        in
+        ( str (Option.get (Sim.Json.member "title" t)),
+          strs (Option.get (Sim.Json.member "header" t)),
+          match Option.get (Sim.Json.member "rows" t) with
+          | Sim.Json.List rs -> List.map strs rs
+          | _ -> assert false ))
+      ts
+  | _ -> assert false
+
+let compare_tables ~file ~tolerance fresh base =
+  let fail = ref [] in
+  let mismatch fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
+  let ft = tables fresh and bt = tables base in
+  if List.length ft <> List.length bt then
+    mismatch "table count: fresh has %d, baseline has %d" (List.length ft)
+      (List.length bt)
+  else
+    List.iter2
+      (fun (title, header, rows) (btitle, bheader, brows) ->
+        if title <> btitle then
+          mismatch "table title drifted:\n  fresh:    %s\n  baseline: %s" title
+            btitle
+        else if header <> bheader then
+          mismatch "%S: header drifted" title
+        else if List.length rows <> List.length brows then
+          mismatch "%S: row count: fresh %d, baseline %d" title
+            (List.length rows) (List.length brows)
+        else
+          List.iter2
+            (fun row brow ->
+              let key = match brow with k :: _ -> k | [] -> "<empty>" in
+              if List.length row <> List.length brow then
+                mismatch "%S / %S: cell count differs" title key
+              else
+                List.iteri
+                  (fun i (cell, bcell) ->
+                    if cell <> bcell then
+                      let col =
+                        match List.nth_opt header i with
+                        | Some h -> h
+                        | None -> Printf.sprintf "col%d" i
+                      in
+                      if i = 0 then
+                        mismatch "%S: row label %S became %S" title bcell cell
+                      else if safety_header col then
+                        mismatch
+                          "%S / %S: SAFETY column %S drifted: %S -> %S" title
+                          key col bcell cell
+                      else
+                        match (number_of_cell cell, number_of_cell bcell) with
+                        | Some f, Some b ->
+                          let scale = Float.max (Float.max (abs_float f) (abs_float b)) 1. in
+                          if abs_float (f -. b) > tolerance *. scale then
+                            mismatch
+                              "%S / %S: column %S outside tolerance %.2f: %S \
+                               -> %S"
+                              title key col tolerance bcell cell
+                        | _ ->
+                          mismatch "%S / %S: column %S drifted: %S -> %S" title
+                            key col bcell cell)
+                  (List.combine row brow))
+            rows brows)
+      ft bt;
+  match List.rev !fail with
+  | [] ->
+    Printf.printf "%s: ok (matches baseline)\n" file;
+    true
+  | ms ->
+    Printf.printf "%s: FAIL (baseline regression)\n" file;
+    List.iter (Printf.printf "  %s\n") ms;
+    false
 
 let () =
+  let baseline = ref None in
+  let tolerance = ref 0.10 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: dir :: rest ->
+      baseline := Some dir;
+      parse rest
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0. -> tolerance := f
+      | _ ->
+        prerr_endline "validate: --tolerance expects a non-negative float";
+        exit 2);
+      parse rest
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let files =
-    match List.tl (Array.to_list Sys.argv) with
-    | [] -> bench_files ()
-    | fs -> fs
+    match List.rev !files with [] -> bench_files () | fs -> fs
   in
   if files = [] then begin
     print_endline "validate: no BENCH_E*.json files found";
     exit 1
   end;
-  let ok = List.fold_left (fun acc f -> validate f && acc) true files in
+  let check file =
+    match parse_doc file with
+    | None -> false
+    | Some doc -> (
+      match !baseline with
+      | None ->
+        Printf.printf "%s: ok\n" file;
+        true
+      | Some dir ->
+        let bfile = Filename.concat dir (Filename.basename file) in
+        if not (Sys.file_exists bfile) then begin
+          Printf.printf "%s: ok (no baseline at %s, comparison skipped)\n" file
+            bfile;
+          true
+        end
+        else
+          match parse_doc bfile with
+          | None -> false
+          | Some base -> compare_tables ~file ~tolerance:!tolerance doc base)
+  in
+  let ok = List.fold_left (fun acc f -> check f && acc) true files in
   if not ok then exit 1

@@ -183,6 +183,14 @@ let model_check_cmd =
   let cbound =
     Arg.(value & opt int 0 & info [ "c" ] ~doc:"Crash bound.")
   in
+  let cobound =
+    Arg.(
+      value & opt int 0
+      & info [ "co" ]
+          ~doc:
+            "Independent single-process crash bound (the Golab-Ramaraju \
+             failure model; see experiment E11).")
+  in
   let max_runs =
     Arg.(value & opt int 200_000 & info [ "max-runs" ] ~doc:"Run budget.")
   in
@@ -195,7 +203,37 @@ let model_check_cmd =
       & info [ "no-csr" ]
           ~doc:"Do not flag CSR violations (for stacks that do not claim it).")
   in
-  let run scenario stack model n dbound cbound max_runs passages no_csr jobs =
+  let reduce =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Harness.Model_check.No_reduction);
+               ("dedup", Harness.Model_check.Dedup);
+               ("por", Harness.Model_check.Por);
+             ])
+          Harness.Model_check.No_reduction
+      & info [ "reduce" ] ~docv:"LEVEL"
+          ~doc:
+            "State-space reduction: $(b,none) (legacy exhaustive \
+             enumeration), $(b,dedup) (prune runs that re-reach a \
+             fingerprinted state at covered budget) or $(b,por) (dedup \
+             plus partial-order reduction of commuting preemptions). \
+             Verdicts are identical at every level.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Also write the outcome (configuration, counters and every \
+             recorded violation) as JSON to $(docv) — the nightly \
+             deep-check uploads these as artifacts.")
+  in
+  let run scenario stack model n dbound cbound cobound max_runs passages
+      no_csr reduction out jobs =
     let sc =
       match scenario with
       | `Rme ->
@@ -207,9 +245,54 @@ let model_check_cmd =
     in
     let o =
       Harness.Model_check.explore ~divergence_bound:dbound ~crash_bound:cbound
-        ~max_runs ~jobs sc
+        ~crash_one_bound:cobound ~max_runs ~reduction ~jobs sc
     in
     Format.printf "%a@." Harness.Model_check.pp_outcome o;
+    Option.iter
+      (fun file ->
+        let open Sim.Json in
+        let doc =
+          Obj
+            [
+              ("schema", Str "rme-model-check/1");
+              ( "config",
+                Obj
+                  [
+                    ("stack", Str stack);
+                    ("model", Str (Format.asprintf "%a" Sim.Memory.pp_model model));
+                    ("n", Int n);
+                    ("divergence_bound", Int dbound);
+                    ("crash_bound", Int cbound);
+                    ("crash_one_bound", Int cobound);
+                    ("passages", Int passages);
+                    ("max_runs", Int max_runs);
+                    ( "reduce",
+                      Str (Harness.Model_check.reduction_to_string reduction) );
+                    ("check_csr", Bool (not no_csr));
+                  ] );
+              ( "outcome",
+                Obj
+                  [
+                    ("runs", Int o.Harness.Model_check.runs);
+                    ("steps", Int o.Harness.Model_check.steps);
+                    ("step_cap_hits", Int o.Harness.Model_check.step_cap_hits);
+                    ("deadlocks", Int o.Harness.Model_check.deadlocks);
+                    ("truncated", Bool o.Harness.Model_check.truncated);
+                    ( "distinct_states",
+                      Int o.Harness.Model_check.distinct_states );
+                    ("pruned_runs", Int o.Harness.Model_check.pruned_runs);
+                    ( "pruned_branches",
+                      Int o.Harness.Model_check.pruned_branches );
+                    ( "violations",
+                      List
+                        (List.map
+                           (fun v -> Str v)
+                           o.Harness.Model_check.violations) );
+                  ] );
+            ]
+        in
+        write_file file (to_string ~pretty:true doc ^ "\n"))
+      out;
     if o.Harness.Model_check.violations = [] then 0 else 1
   in
   Cmd.v
@@ -217,7 +300,7 @@ let model_check_cmd =
        ~doc:"Systematically explore schedules (and crash points).")
     Term.(
       const run $ scenario $ stack_arg $ model_arg $ n_arg $ dbound $ cbound
-      $ max_runs $ passages $ no_csr $ jobs_arg)
+      $ cobound $ max_runs $ passages $ no_csr $ reduce $ out $ jobs_arg)
 
 (* --- trace --- *)
 

@@ -1,5 +1,21 @@
 open Sim
 
+type reduction = No_reduction | Dedup | Por
+
+let reduction_of_string s =
+  match String.lowercase_ascii s with
+  | "none" -> No_reduction
+  | "dedup" -> Dedup
+  | "por" -> Por
+  | s -> invalid_arg ("Model_check.reduction_of_string: " ^ s)
+
+let reduction_to_string = function
+  | No_reduction -> "none"
+  | Dedup -> "dedup"
+  | Por -> "por"
+
+let pp_reduction ppf r = Format.pp_print_string ppf (reduction_to_string r)
+
 type outcome = {
   runs : int;
   steps : int;
@@ -7,6 +23,9 @@ type outcome = {
   step_cap_hits : int;
   deadlocks : int;
   truncated : bool;
+  distinct_states : int;
+  pruned_runs : int;
+  pruned_branches : int;
 }
 
 type ctx = {
@@ -14,6 +33,7 @@ type ctx = {
   on_crash : (epoch:int -> unit) -> unit;
   on_crash_one : (pid:int -> unit) -> unit;
   on_finish : (unit -> unit) -> unit;
+  on_fingerprint : (unit -> int) -> unit;
 }
 
 type scenario = {
@@ -37,6 +57,55 @@ let no_alt = min_int
 
 let max_recorded_violations = 20
 
+(* --- budget-qualified visited set --- *)
+
+(* The search is budget-bounded, so "state already visited" must be
+   qualified: an earlier visit that had already consumed more
+   divergence/crash/crash-one budget explores a *smaller* subtree than a
+   later arrival with budget to spare, and pruning the richer arrival
+   would lose reachable states. A consumed-budget vector is clamped
+   per-component to its bound (once a budget is exhausted the exact
+   excess is irrelevant — no further branching of that kind happens
+   either way) and packed into a bit index; the visited set stores, per
+   fingerprint, the union of the *domination closures* of the vectors
+   that reached it — every vector with component-wise >= consumption,
+   whose subtree is contained in the explored one. An arrival is pruned
+   iff its own bit is already stored. When the clamped vector space
+   exceeds a word (exotic bounds), the vector is mixed into the
+   fingerprint itself instead: sound, just fewer merges. *)
+type budget_coding =
+  | Closure of int array (* packed vector -> domination-closure mask *)
+  | Key_mix
+
+let budget_coding ~divergence_bound ~crash_bound ~crash_one_bound =
+  (* Branch budgets can be given as huge sentinels; clamp the coding
+     dimensions, not the search. *)
+  let dim b = b + 1 in
+  let d1 = dim divergence_bound
+  and c1 = dim crash_bound
+  and o1 = dim crash_one_bound in
+  if d1 > 0 && c1 > 0 && o1 > 0 && d1 * c1 * o1 <= 62 then begin
+    let pack d c o = d + (d1 * (c + (c1 * o))) in
+    let closures = Array.make (d1 * c1 * o1) 0 in
+    for d = 0 to d1 - 1 do
+      for c = 0 to c1 - 1 do
+        for o = 0 to o1 - 1 do
+          let m = ref 0 in
+          for d' = d to d1 - 1 do
+            for c' = c to c1 - 1 do
+              for o' = o to o1 - 1 do
+                m := !m lor (1 lsl pack d' c' o')
+              done
+            done
+          done;
+          closures.(pack d c o) <- !m
+        done
+      done
+    done;
+    Closure closures
+  end
+  else Key_mix
+
 (* Everything one replayed run contributes to the outcome, as a pure
    value: a run allocates its own [Memory]/[Runtime] and touches no state
    outside this record, so runs may execute speculatively on worker
@@ -46,24 +115,28 @@ type run_result = {
   r_steps : int;
   r_capped : bool;
   r_deadlock : bool;
+  r_pruned : bool;  (* truncated at a visited state *)
+  r_por_skips : int;  (* commuting branches not emitted *)
   r_violations : string list;  (* in occurrence order *)
   r_children : item list;  (* in push order *)
 }
 
 let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
-    ~max_steps { base; cut; alt } =
+    ~max_steps ~reduction ~vset ~coding { base; cut; alt } =
   let local_violations = ref [] in
   let violation msg = local_violations := msg :: !local_violations in
   let mem = Memory.create ~model:scenario.model ~n:scenario.n in
   let crash_hooks = ref [] in
   let crash_one_hooks = ref [] in
   let finish_hooks = ref [] in
+  let fp_hooks = ref [] in
   let ctx =
     {
       violation;
       on_crash = (fun h -> crash_hooks := h :: !crash_hooks);
       on_crash_one = (fun h -> crash_one_hooks := h :: !crash_one_hooks);
       on_finish = (fun h -> finish_hooks := h :: !finish_hooks);
+      on_fingerprint = (fun h -> fp_hooks := h :: !fp_hooks);
     }
   in
   let body = scenario.make_body mem ctx in
@@ -83,6 +156,8 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
   let steps = ref 0 in
   let capped = ref false in
   let deadlock = ref false in
+  let pruned = ref false in
+  let por_skips = ref 0 in
   (* [enabled] pids that were spin-blocked at the deadlock, for the
      diagnostic and the crash_one branch victims. *)
   let deadlock_enabled = ref [] in
@@ -90,6 +165,50 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
      step, as a reusable bitmask (same layout as Memory's reader bitsets)
      instead of a freshly allocated List.filter per step. *)
   let pmask = Bitset.create scenario.n in
+  let state_fingerprint () =
+    let h = Encode.mix (Memory.fingerprint mem) (Runtime.fingerprint rt) in
+    let h = List.fold_left (fun h hook -> Encode.mix h (hook ())) h !fp_hooks in
+    Encode.mix h !cur
+  in
+  (* After executing each decision at a position >= cut (positions before
+     the branch point retrace states the parent run already owned and
+     inserted): stop if the resulting state, at the current
+     consumed-budget vector, is covered by an earlier run. Note the
+     fingerprint is {e history-qualified}: a process's local signature
+     hashes the whole value sequence it consumed, so two runs merge
+     exactly when every process consumed the same values in its own order
+     — commuting interleavings, the bulk of the schedule explosion — and
+     a state revisited {e within} one run (a genuine livelock cycle)
+     still hashes fresh. Livelocks therefore keep hitting the step cap,
+     same as without reduction. *)
+  let covered () =
+    match vset with
+    | None -> false
+    | Some vs ->
+      let fp = state_fingerprint () in
+      let bit, closure, key =
+        match coding with
+        | Closure closures ->
+          let pack =
+            min !divergences divergence_bound
+            + ((divergence_bound + 1)
+               * (min !crashes crash_bound
+                 + ((crash_bound + 1) * min !crash_ones crash_one_bound)))
+          in
+          (1 lsl pack, closures.(pack), fp)
+        | Key_mix ->
+          let key =
+            Encode.mix (Encode.mix (Encode.mix fp !divergences) !crashes)
+              !crash_ones
+          in
+          (1, 1, key)
+      in
+      if Parallel.Vset.covers_or_add vs key ~bit ~closure then begin
+        pruned := true;
+        true
+      end
+      else false
+  in
   (* Run-until-blocked default: keep stepping the current process while
      it is productive; on spin-block or completion, rotate to the next
      productive process. Fair, and terminating for livelock-free
@@ -100,6 +219,36 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
       match Bitset.first_gt pmask !cur with
       | Some pid -> pid
       | None -> Option.get (Bitset.first pmask)
+  in
+  (* POR: preempting the default process d in favour of q only matters if
+     their next operations conflict. When they touch disjoint cells (or
+     only read a shared one), d-then-q and q-then-d reach the same state
+     for the same budget, and the q to-be-branched-next-step is the same
+     preemption one step later — so the q branch is deferred, step by
+     step, until the first conflicting position (or until q becomes the
+     default for free). Crash decisions conflict with everything and a
+     fresh process's first step is opaque, so both stay branched.
+     DESIGN.md §5.13 gives the commutation argument. *)
+  let branch_mask default_pid =
+    let dep = Bitset.create scenario.n in
+    (match Runtime.step_footprint rt default_pid with
+    | None -> Bitset.iter (fun q -> Bitset.add dep q) pmask
+    | Some df ->
+      Bitset.iter
+        (fun q ->
+          if q = default_pid then ()
+          else
+            match Runtime.step_footprint rt q with
+            | None -> Bitset.add dep q
+            | Some qf ->
+              if
+                List.exists
+                  (fun (c1, w1) ->
+                    List.exists (fun (c2, w2) -> c1 = c2 && (w1 || w2)) qf)
+                  df
+              then Bitset.add dep q)
+        pmask);
+    Bitset.snapshot dep
   in
   let rec loop () =
     match Runtime.enabled rt with
@@ -132,11 +281,17 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
       else begin
         let default_pid = default () in
         let decision = if !pos < forced_len then forced !pos else default_pid in
-        if !pos >= forced_len then
+        if !pos >= forced_len then begin
+          let branchable =
+            match reduction with
+            | Por -> Some (branch_mask default_pid)
+            | No_reduction | Dedup -> None
+          in
           choice_points :=
-            (!pos, Bitset.snapshot pmask, default_pid, !divergences, !crashes,
-             !crash_ones)
-            :: !choice_points;
+            (!pos, Bitset.snapshot pmask, branchable, default_pid,
+             !divergences, !crashes, !crash_ones)
+            :: !choice_points
+        end;
         if decision = crash_decision then begin
           incr crashes;
           Runtime.crash rt ()
@@ -152,14 +307,15 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
           Runtime.step rt decision;
           cur := decision
         end;
+        let p = !pos in
         taken := decision :: !taken;
         incr pos;
         incr steps;
-        loop ()
+        if p < cut || not (covered ()) then loop ()
       end
   in
   loop ();
-  if not !capped then List.iter (fun h -> h ()) !finish_hooks;
+  if (not !capped) && not !pruned then List.iter (fun h -> h ()) !finish_hooks;
   (* Branch: preempting to another productive process costs divergence
      budget; injecting a crash costs crash budget. Positions inside the
      forced prefix were branched when their ancestors ran. The taken-trace
@@ -179,12 +335,15 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
         !deadlock_enabled
   end;
   List.iter
-    (fun (i, productive, default_pid, div_before, crashes_before,
+    (fun (i, productive, branchable, default_pid, div_before, crashes_before,
           crash_ones_before) ->
       if div_before < divergence_bound then
         Bitset.iter
           (fun pid ->
-            if pid <> default_pid then push { base = trace; cut = i; alt = pid })
+            if pid <> default_pid then
+              match branchable with
+              | Some mask when not (Bitset.mem mask pid) -> incr por_skips
+              | Some _ | None -> push { base = trace; cut = i; alt = pid })
           productive;
       if crashes_before < crash_bound then
         push { base = trace; cut = i; alt = crash_decision };
@@ -197,6 +356,8 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
     r_steps = !steps;
     r_capped = !capped;
     r_deadlock = !deadlock;
+    r_pruned = !pruned;
+    r_por_skips = !por_skips;
     r_violations = List.rev !local_violations;
     r_children = List.rev !children;
   }
@@ -207,13 +368,23 @@ type entry = { it : item; mutable fut : run_result Parallel.Pool.future option }
 
 let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     ?(max_steps = 20_000) ?(max_runs = 200_000) ?(stop_on_first = false)
-    ?(jobs = 1) ?pool scenario =
+    ?(reduction = No_reduction) ?(jobs = 1) ?pool scenario =
   let jobs =
     match pool with Some p -> Parallel.Pool.jobs p | None -> max 1 jobs
   in
+  let vset =
+    match reduction with
+    | No_reduction -> None
+    | Dedup | Por -> Some (Parallel.Vset.create ~shards:(4 * jobs) ())
+  in
+  let coding =
+    match vset with
+    | None -> Key_mix (* unused *)
+    | Some _ -> budget_coding ~divergence_bound ~crash_bound ~crash_one_bound
+  in
   let replay =
     replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
-      ~max_steps
+      ~max_steps ~reduction ~vset ~coding
   in
   (* Commit state. Every run's contribution is folded in here, in the
      order the sequential engine would have executed the runs, so the
@@ -226,6 +397,8 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
   let seen_violations = Hashtbl.create 32 in
   let step_cap_hits = ref 0 in
   let deadlocks = ref 0 in
+  let pruned_runs = ref 0 in
+  let pruned_branches = ref 0 in
   let record_violation msg =
     if
       !violation_count < max_recorded_violations
@@ -241,6 +414,8 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     steps := !steps + r.r_steps;
     if r.r_capped then incr step_cap_hits;
     if r.r_deadlock then incr deadlocks;
+    if r.r_pruned then incr pruned_runs;
+    pruned_branches := !pruned_branches + r.r_por_skips;
     List.iter record_violation r.r_violations;
     r.r_children
   in
@@ -307,13 +482,18 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     step_cap_hits = !step_cap_hits;
     deadlocks = !deadlocks;
     truncated = !stack <> [];
+    distinct_states =
+      (match vset with None -> 0 | Some vs -> Parallel.Vset.cardinal vs);
+    pruned_runs = !pruned_runs;
+    pruned_branches = !pruned_branches;
   }
 
 let pp_outcome ppf o =
   Format.fprintf ppf
     "@[<v>runs=%d steps=%d cap-hits=%d deadlocks=%d truncated=%b \
-     violations=%d%a@]"
-    o.runs o.steps o.step_cap_hits o.deadlocks o.truncated
+     states=%d pruned-runs=%d pruned-branches=%d violations=%d%a@]"
+    o.runs o.steps o.step_cap_hits o.deadlocks o.truncated o.distinct_states
+    o.pruned_runs o.pruned_branches
     (List.length o.violations)
     (fun ppf vs -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v) vs)
     o.violations

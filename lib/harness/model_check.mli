@@ -20,10 +20,60 @@
     With small process counts this systematically covers every schedule
     within the bounds — including a crash at {e every} reachable step when
     [crash_bound >= 1] — which is the evidence we offer in place of the
-    paper's omitted proofs (experiment E9). *)
+    paper's omitted proofs (experiment E9).
+
+    {2 State-space reduction}
+
+    The raw search re-executes every interleaving even when different
+    decision orders converge on the same state. [~reduction] prunes that
+    redundancy without changing verdicts (DESIGN.md §5.13):
+
+    - {!Dedup}: after each decision the run's state is fingerprinted
+      ({!Sim.Memory.fingerprint} over cell values, {!Sim.Runtime.fingerprint}
+      over epoch + per-process consumed-value signatures, plus every
+      scenario hash registered through [ctx.on_fingerprint] and the
+      scheduler's current-process id) and looked up in a visited set
+      shared across the whole exploration ({!Parallel.Vset}). A run that
+      re-reaches a state already explored with component-wise
+      equal-or-more {e remaining} budget is truncated there — the earlier
+      visit's subtree contains everything this continuation could reach.
+      The per-process signature hashes the {e sequence} of consumed
+      values, so two runs merge exactly when every process consumed the
+      same values in its own order — commuting interleavings, which is
+      where the schedule explosion lives.
+    - {!Por}: [Dedup] plus conservative partial-order reduction. At a
+      choice point, the preemption branch to process [q] is skipped when
+      [q]'s and the default process's pending operations
+      ({!Sim.Runtime.step_footprint}) touch disjoint cells or only read a
+      common one: the two orders commute, so the [q] branch is deferred
+      step-by-step to the first conflicting position (reached within the
+      same default run at no extra divergence cost). Crash branches and
+      fresh processes (unknown footprint) are never pruned.
+
+    Soundness caveats, both documented in DESIGN.md §5.13: a fingerprint
+    collision (64-bit mixed hash) could suppress exploration of a
+    genuinely new state — it can never fabricate a violation — and runs
+    truncated by [max_steps] lose the deferred branches beyond the cap
+    (capped runs already report a violation, so the signal survives).
+    Scenario monitors that keep verdict-relevant state outside shared
+    memory {e must} register it via [ctx.on_fingerprint]; otherwise two
+    states the monitor distinguishes could be merged. *)
+
+(** How aggressively to prune the schedule tree. [No_reduction] is the
+    legacy exhaustive enumeration, byte-identical to pre-reduction
+    behaviour. *)
+type reduction = No_reduction | Dedup | Por
+
+val reduction_of_string : string -> reduction
+(** Parses ["none" | "dedup" | "por"] (case-insensitive).
+    @raise Invalid_argument otherwise. *)
+
+val reduction_to_string : reduction -> string
+
+val pp_reduction : Format.formatter -> reduction -> unit
 
 type outcome = {
-  runs : int;  (** schedules executed *)
+  runs : int;  (** schedules executed (pruned replays included) *)
   steps : int;  (** total simulated steps across all runs *)
   violations : string list;  (** distinct violation descriptions (capped) *)
   step_cap_hits : int;
@@ -33,6 +83,13 @@ type outcome = {
       (** runs that reached a state where every runnable process was
           spin-blocked *)
   truncated : bool;  (** true if [max_runs] stopped the search early *)
+  distinct_states : int;
+      (** distinct state fingerprints recorded (0 with [No_reduction]) *)
+  pruned_runs : int;
+      (** runs truncated at a state an earlier run had already covered *)
+  pruned_branches : int;
+      (** preemption branches skipped by partial-order reduction ([Por]
+          only) *)
 }
 
 (** A checkable scenario: [make_body] builds the per-process program and
@@ -47,6 +104,13 @@ type ctx = {
           process (see [crash_one_bound]) *)
   on_finish : (unit -> unit) -> unit;
       (** register a final check executed when a run ends cleanly *)
+  on_fingerprint : (unit -> int) -> unit;
+      (** register a hash of the monitor's verdict-relevant private state
+          (fold it with {!Sim.Encode.mix}/{!Sim.Encode.mix_array}). The
+          reduction engine mixes it into every state fingerprint; monitor
+          state lives outside shared memory, so without this hook two
+          monitor-distinct states would be merged and a violation could be
+          pruned away. No-op when [reduction = No_reduction]. *)
 }
 
 type scenario = {
@@ -62,6 +126,7 @@ val explore :
   ?max_steps:int ->
   ?max_runs:int ->
   ?stop_on_first:bool ->
+  ?reduction:reduction ->
   ?jobs:int ->
   ?pool:Parallel.Pool.t ->
   scenario ->
@@ -73,21 +138,34 @@ val explore :
     {!Rme.Fasas_clh}), [max_steps = 20_000] per run,
     [max_runs = 200_000], [stop_on_first = false] (when true, the search
     stops at the first recorded violation — useful for exhibiting a known
-    bug cheaply).
+    bug cheaply), [reduction = No_reduction] (the legacy exhaustive
+    enumeration; see the module preamble for [Dedup]/[Por]).
 
     [jobs] (default 1) replays schedules on a domain pool: pending work
     items near the top of the DFS stack are evaluated speculatively in
     parallel — each on its own [Memory]/[Runtime] — and their results are
-    {e committed} strictly in the sequential DFS order, so the outcome
-    (runs, steps, violations, deadlocks, truncation) is identical for any
-    [jobs], including under [max_runs] truncation and [stop_on_first].
-    Speculative runs past a cut are discarded. [jobs <= 1] takes the exact
-    legacy sequential path. [pool] reuses a caller-owned pool (its size
-    overrides [jobs]) instead of spawning a transient one.
+    {e committed} strictly in the sequential DFS order, so with
+    [No_reduction] the outcome (runs, steps, violations, deadlocks,
+    truncation) is identical for any [jobs], including under [max_runs]
+    truncation and [stop_on_first]. Speculative runs past a cut are
+    discarded. [jobs <= 1] takes the exact legacy sequential path. [pool]
+    reuses a caller-owned pool (its size overrides [jobs]) instead of
+    spawning a transient one.
+
+    Determinism under reduction: with [jobs <= 1] the reduced search is
+    fully deterministic. With [jobs > 1] speculative replays race to
+    insert fingerprints into the shared visited set, so {e counts} (runs,
+    steps, pruned_runs, distinct_states) may vary between executions;
+    the set of {e reachable} states — and therefore the verdict: the
+    violations found, deadlock detection, cap hits on livelocks — does
+    not depend on which run claimed a state first.
 
     Caveat: the run-until-blocked default cannot cope with algorithms that
     busy-wait through raw retry loops instead of {!Sim.Proc.await} (e.g.
-    the test-and-set lock's CAS loop) — those runs hit the step cap. All
-    algorithms in this repository except [Locks.Tas] declare their spins. *)
+    the test-and-set lock's CAS loop) — those runs hit the step cap, with
+    or without reduction (the history-qualified fingerprint keeps evolving
+    around a livelock cycle, so the visited set does not short-circuit
+    it). All algorithms in this repository except [Locks.Tas] declare
+    their spins. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

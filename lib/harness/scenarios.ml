@@ -21,6 +21,14 @@ let rme ?(passages = 1) ?(check_csr = true) ~n ~model ~make () =
           ctx.violation
             (Printf.sprintf "lost update: counter=%d, completions=%d"
                (Memory.peek counter) !cs_done));
+    (* Monitor state lives outside shared memory, so the reduction
+       engine cannot see it — states equal in memory+runtime but with
+       different monitor verdict-state must not be merged. *)
+    ctx.on_fingerprint (fun () ->
+        Encode.mix_array
+          (Encode.mix (Encode.mix (Encode.mix Encode.fingerprint_seed
+                                     !occupant) !csr_owner) !cs_done)
+          completed);
     fun ~pid ~epoch ->
       while completed.(pid) < passages do
         lock.Rme.Rme_intf.recover ~pid ~epoch;
@@ -58,6 +66,10 @@ let barrier_generic ~epochs ~n ~model ~leader_of ~make_enter =
        epoch, so processes whose round was interrupted retry it there. *)
     let completed = Array.make (n + 1) 0 in
     let leader_begun = ref (-1) in
+    ctx.on_fingerprint (fun () ->
+        Encode.mix_array
+          (Encode.mix Encode.fingerprint_seed !leader_begun)
+          completed);
     fun ~pid ~epoch ->
       while
         completed.(pid) < epochs

@@ -1,0 +1,106 @@
+(* Sharded visited set: open-addressing hash map from a state
+   fingerprint to a small coverage bitmask (the model checker stores the
+   domination closure of the budget vectors that have reached the
+   state). Shard-level mutexes make concurrent [covers_or_add] calls from
+   speculative replay domains safe; within a shard, linear probing over a
+   power-of-two table keeps the hot path allocation-free. *)
+
+type shard = {
+  lock : Mutex.t;
+  mutable keys : int array; (* 0 = empty slot *)
+  mutable masks : int array;
+  mutable count : int;
+}
+
+type t = { shards : shard array; shard_mask : int }
+
+(* Fingerprints are arbitrary ints; remix before deriving shard and slot
+   indices so low-entropy keys still spread. Constants as in
+   Sim.Encode.mix (duplicated: parallel must not depend on sim). *)
+let remix v =
+  let h = v * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x27D4EB2F165667C5 in
+  h lxor (h lsr 32)
+
+let initial_capacity = 64
+
+let make_shard () =
+  {
+    lock = Mutex.create ();
+    keys = Array.make initial_capacity 0;
+    masks = Array.make initial_capacity 0;
+    count = 0;
+  }
+
+let create ?(shards = 16) () =
+  let rec pow2 k = if k >= shards then k else pow2 (k * 2) in
+  let n = pow2 1 in
+  { shards = Array.init n (fun _ -> make_shard ()); shard_mask = n - 1 }
+
+(* [keys] slot 0 is the empty sentinel, so the (astronomically unlikely)
+   key 0 is nudged onto a fixed non-zero value. *)
+let normalize key = if key = 0 then 0x5EED else key
+
+let slot_of keys key =
+  let cap_mask = Array.length keys - 1 in
+  let rec probe i =
+    let k = keys.(i) in
+    if k = 0 || k = key then i else probe ((i + 1) land cap_mask)
+  in
+  probe (remix key land cap_mask)
+
+let grow s =
+  let old_keys = s.keys and old_masks = s.masks in
+  let cap = Array.length old_keys * 2 in
+  s.keys <- Array.make cap 0;
+  s.masks <- Array.make cap 0;
+  Array.iteri
+    (fun i k ->
+      if k <> 0 then begin
+        let j = slot_of s.keys k in
+        s.keys.(j) <- k;
+        s.masks.(j) <- old_masks.(i)
+      end)
+    old_keys
+
+let covers_or_add t key ~bit ~closure =
+  let key = normalize key in
+  let s = t.shards.(remix (key lxor 0x3F) land t.shard_mask) in
+  Mutex.lock s.lock;
+  let covered =
+    let i = slot_of s.keys key in
+    if s.keys.(i) = key then
+      if s.masks.(i) land bit <> 0 then true
+      else begin
+        s.masks.(i) <- s.masks.(i) lor closure;
+        false
+      end
+    else begin
+      s.keys.(i) <- key;
+      s.masks.(i) <- closure;
+      s.count <- s.count + 1;
+      if 2 * s.count >= Array.length s.keys then grow s;
+      false
+    end
+  in
+  Mutex.unlock s.lock;
+  covered
+
+let mem t key =
+  let key = normalize key in
+  let s = t.shards.(remix (key lxor 0x3F) land t.shard_mask) in
+  Mutex.lock s.lock;
+  let i = slot_of s.keys key in
+  let found = s.keys.(i) = key in
+  Mutex.unlock s.lock;
+  found
+
+let cardinal t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let c = s.count in
+      Mutex.unlock s.lock;
+      acc + c)
+    0 t.shards

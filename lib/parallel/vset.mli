@@ -1,0 +1,43 @@
+(** Sharded concurrent visited set for state-space search.
+
+    A hash map from state fingerprints to a small {e coverage bitmask},
+    built for the model checker's reduction engine ({!Harness.Model_check}
+    with [~reduction]): sequential DFS and speculative replays on worker
+    domains share one instance, so a state first reached by any run
+    prunes every later run that re-reaches it. Each shard is an
+    open-addressing (linear-probe) table behind its own mutex — calls
+    from different domains contend only when they hash to the same shard,
+    and the hot path allocates nothing.
+
+    The per-key bitmask exists because the search is {e budget-bounded}:
+    reaching a state with more remaining divergence/crash budget can
+    explore more than an earlier visit with less, so "visited" must be
+    qualified by budget. The caller encodes its (clamped) consumed-budget
+    vector as a bit index and passes the {e domination closure} — the set
+    of vectors with component-wise equal-or-more consumption, whose
+    subtrees are all covered by exploring from the present one. A later
+    arrival is prunable iff its own vector bit is already stored. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [create ~shards ()] makes an empty set with at least [shards] shards
+    (rounded up to a power of two; default 16). Size shards to the worker
+    count; extra shards only cost a few empty arrays. *)
+
+val covers_or_add : t -> int -> bit:int -> closure:int -> bool
+(** [covers_or_add t key ~bit ~closure] returns [true] if [key]'s stored
+    mask already contains [bit] (the caller's state+budget is covered —
+    prune). Otherwise it ORs [closure] into the mask (inserting [key]
+    with mask [closure] if absent) and returns [false] (first visit at
+    this budget — keep exploring). Check and update are atomic per key.
+    Callers without budget structure pass [~bit:1 ~closure:1], which
+    degrades to a plain visited set. *)
+
+val mem : t -> int -> bool
+(** Membership regardless of mask (for tests and diagnostics). *)
+
+val cardinal : t -> int
+(** Number of distinct keys. Per-shard counts are read under the shard
+    locks, so concurrent [covers_or_add] calls may or may not be
+    included; exact once writers are quiescent. *)

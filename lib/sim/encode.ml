@@ -13,3 +13,32 @@ let tag_of v = v land 1
 let pp ppf v =
   if is_bottom v then Format.fprintf ppf "<bot>"
   else Format.fprintf ppf "<%d,%d>" (id_of v) (tag_of v)
+
+(* --- fingerprint mixing --- *)
+
+(* Odd multiplicative constants that fit OCaml's 63-bit native int
+   (splitmix64's are 64-bit, so we use truncations with the same
+   high-entropy shape). Quality bar: fingerprints only gate state-space
+   pruning, so a collision costs at most a missed exploration, never a
+   false violation. *)
+let k1 = 0x2545F4914F6CDD1D
+let k2 = 0x27D4EB2F165667C5
+
+(* Golden-ratio odd offset, added before the multiply so that [mix] has
+   no absorbing state: a bare xor-multiply chain fixes [mix 0 0 = 0],
+   and "accumulator 0 consuming value 0" is the common case (a fresh
+   process reading a zero-initialized cell) — the signature must still
+   advance there, or a read-only step looks like a state cycle. For any
+   fixed [v], [mix _ v] stays a bijection (add, odd multiply and
+   xorshift all are), which keeps hash chains collision-resistant. *)
+let golden = 0x1E3779B97F4A7C15
+
+let mix h v =
+  let h = ((h lxor v) + golden) * k1 in
+  let h = h lxor (h lsr 29) in
+  let h = h * k2 in
+  h lxor (h lsr 32)
+
+let fingerprint_seed = 0x1A2B3C4D5E6F
+
+let mix_array h a = Array.fold_left mix h a

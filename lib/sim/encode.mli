@@ -29,3 +29,23 @@ val tag_of : int -> int
 
 val pp : Format.formatter -> int -> unit
 (** Pretty-print a packed pair value (for traces and debugging). *)
+
+(** {2 Fingerprint mixing}
+
+    Deterministic integer hash combinators shared by the state
+    fingerprints of {!Memory} and {!Runtime} and by the model checker's
+    visited set. The mix is a splitmix-style avalanche over native ints:
+    pure, allocation-free, and identical on every domain, so fingerprints
+    computed on worker domains can be compared to ones computed on the
+    main domain. A collision can only suppress an exploration branch
+    (losing a little coverage), never fabricate a violation. *)
+
+val mix : int -> int -> int
+(** [mix h v] folds value [v] into accumulator [h]. Not commutative:
+    callers must fold in a deterministic order. *)
+
+val mix_array : int -> int array -> int
+(** [mix_array h a] folds every element of [a] into [h], in index order. *)
+
+val fingerprint_seed : int
+(** Canonical initial accumulator for a fingerprint fold. *)

@@ -14,6 +14,7 @@ let model_of_string s =
    [(pid - 1) / 62]); it tracks which processes hold a valid cached copy
    under the CC model's in-cache-read rule. *)
 type cell = {
+  id : int;  (* dense allocation index, 0-based; keys snapshots *)
   name : string;
   home : int;
   mutable value : int;
@@ -27,6 +28,12 @@ type t = {
   rmr_count : int array; (* 1-based; index 0 unused *)
   step_count : int array;
   mutable tracer : tracer option;
+  (* Allocation registry, newest first. Allocation order is deterministic
+     (cells are created by scenario/algorithm setup code), so two replays
+     of the same scenario assign identical ids — which is what makes
+     snapshots and fingerprints comparable across runs. *)
+  mutable cells : cell list;
+  mutable n_cells : int;
 }
 
 and tracer = pid:int -> op -> result:int -> rmr:bool -> unit
@@ -50,6 +57,8 @@ let create ~model ~n =
     rmr_count = Array.make (n + 1) 0;
     step_count = Array.make (n + 1) 0;
     tracer = None;
+    cells = [];
+    n_cells = 0;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
@@ -59,13 +68,38 @@ let n t = t.n
 
 let cell t ~name ~home init =
   if home < 1 || home > t.n then invalid_arg "Memory.cell: bad home";
-  { name; home; value = init; readers = Array.make t.words 0 }
+  let c =
+    { id = t.n_cells; name; home; value = init; readers = Array.make t.words 0 }
+  in
+  t.cells <- c :: t.cells;
+  t.n_cells <- t.n_cells + 1;
+  c
 
 let global t ~name init = cell t ~name ~home:1 init
 
 let name c = c.name
 let home c = c.home
+let id c = c.id
 let peek c = c.value
+
+let cell_count t = t.n_cells
+
+let snapshot t =
+  let a = Array.make t.n_cells 0 in
+  List.iter (fun c -> a.(c.id) <- c.value) t.cells;
+  a
+
+(* The fold visits [t.cells] newest-first; that order is a deterministic
+   function of allocation order, so equal fingerprints mean equal value
+   vectors (up to hash collisions). Reader sets are deliberately
+   excluded: they feed the CC RMR *accounting* only and can never change
+   control flow, so two states differing only in cache residency have
+   identical futures. *)
+let fingerprint t =
+  List.fold_left
+    (fun h c -> Encode.mix h c.value)
+    (Encode.mix Encode.fingerprint_seed t.n_cells)
+    t.cells
 
 let clear_readers c =
   Array.fill c.readers 0 (Array.length c.readers) 0
@@ -90,6 +124,16 @@ let op_cell = function
   | Faa (c, _)
   | Fasas (c, _, _) ->
     c
+
+(* Which cells one operation touches, and whether each access can change
+   the cell. A failed CAS still counts as a write here: commuting it past
+   a concurrent read of the same cell would reorder an RMR-visible
+   invalidation, and — decisively — whether it fails depends on the
+   cell's value, so it is dependent with writes either way. *)
+let footprint = function
+  | Read c -> [ (c.id, false) ]
+  | Write (c, _) | Cas (c, _, _) | Fas (c, _) | Faa (c, _) -> [ (c.id, true) ]
+  | Fasas (c, _, dst) -> [ (c.id, true); (dst.id, true) ]
 
 let reader_mem c pid =
   let bit = pid - 1 in

@@ -48,6 +48,25 @@ val global : t -> name:string -> int -> cell
 val name : cell -> string
 val home : cell -> int
 
+val id : cell -> int
+(** Dense allocation index of a cell, starting at 0. Allocation order is
+    deterministic for a given scenario, so ids — and therefore
+    {!snapshot} layouts and {!fingerprint}s — are comparable across
+    independent replays of the same scenario. *)
+
+val cell_count : t -> int
+
+val snapshot : t -> int array
+(** [snapshot t] is the current value of every allocated cell, indexed by
+    {!id}. No step or RMR is charged (observer API, like {!peek}). *)
+
+val fingerprint : t -> int
+(** A deterministic hash of the full value vector (every allocated cell,
+    in allocation order). Equal fingerprints mean equal {!snapshot}s up
+    to hash collisions. CC reader sets are excluded: cache residency
+    affects RMR accounting, never values or control flow. Observer API —
+    no step or RMR is charged. *)
+
 val peek : cell -> int
 (** [peek c] reads a cell's value {e without} counting a step or an RMR.
     For monitors, property checkers and tests only — never for simulated
@@ -76,6 +95,13 @@ type op =
 
 val op_name : op -> string
 val op_cell : op -> cell
+
+val footprint : op -> (int * bool) list
+(** [(cell id, may_write)] for every cell the operation touches (one
+    entry, except FASAS's two). A CAS is a write even if it would fail:
+    its outcome depends on the cell value and it invalidates cached
+    copies, so it never commutes with another access to the same cell.
+    Used by the model checker's partial-order reduction. *)
 
 val apply : t -> pid:int -> op -> int * bool
 (** [apply t ~pid op] executes [op] on behalf of process [pid], updates the

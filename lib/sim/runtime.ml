@@ -23,6 +23,15 @@ type t = {
   mutable clock : int;
   mutable crashes : int;
   mutable crash_hooks : (epoch:int -> unit) list;
+  (* Per-process local-state signature: a hash of the sequence of values
+     the fiber has consumed since it (re)started in the current epoch.
+     The body is a deterministic function of (pid, epoch, consumed
+     values), so equal signatures — same pid, same epoch — mean the
+     fibers are at the same control point with the same private state.
+     Failed awaits consume nothing (the fiber does not advance), so they
+     leave the signature unchanged. Plain bookkeeping: no B.* operation,
+     no effect on schedules, RMR accounting or the golden trace. *)
+  local_sig : int array; (* 1-based; index 0 unused *)
 }
 
 let handler : (unit, status) Effect.Deep.handler =
@@ -58,6 +67,7 @@ let create ?(initial_epoch = 1) mem ~body =
     clock = 0;
     crashes = 0;
     crash_hooks = [];
+    local_sig = Array.make (Memory.n mem + 1) 0;
   }
 
 let memory t = t.mem
@@ -115,18 +125,29 @@ let start t pid =
    Returns the fiber's next state. An await whose condition fails keeps the
    same continuation: the read was charged, the process stays put. *)
 let advance t ~pid st =
+  let consume v = t.local_sig.(pid) <- Encode.mix t.local_sig.(pid) v in
   match st with
   | Returned -> Returned
   | Sus_op (op, k) ->
     let v, _rmr = Memory.apply t.mem ~pid op in
+    consume v;
     Effect.Deep.continue k v
   | Sus_await (c, pred, k) ->
     let v, _rmr = Memory.apply t.mem ~pid (Memory.Read c) in
-    if pred v then Effect.Deep.continue k v else st
+    if pred v then begin
+      consume v;
+      Effect.Deep.continue k v
+    end
+    else st
   | Sus_await2 (c1, c2, pred, k) ->
     let v1, _ = Memory.apply t.mem ~pid (Memory.Read c1) in
     let v2, _ = Memory.apply t.mem ~pid (Memory.Read c2) in
-    if pred v1 v2 then Effect.Deep.continue k (v1, v2) else st
+    if pred v1 v2 then begin
+      consume v1;
+      consume v2;
+      Effect.Deep.continue k (v1, v2)
+    end
+    else st
 
 let settle t pid = function
   | Returned -> t.slots.(pid) <- Finished
@@ -162,7 +183,8 @@ let crash_one t pid =
   (match t.slots.(pid) with
   | Waiting st -> discontinue_status st
   | Fresh | Finished -> ());
-  t.slots.(pid) <- Fresh
+  t.slots.(pid) <- Fresh;
+  t.local_sig.(pid) <- 0
 
 let crash t ?(bump = 1) () =
   if bump < 1 then invalid_arg "Runtime.crash: bump must be >= 1";
@@ -172,9 +194,41 @@ let crash t ?(bump = 1) () =
     (match t.slots.(pid) with
     | Waiting st -> discontinue_status st
     | Fresh | Finished -> ());
-    t.slots.(pid) <- Fresh
+    t.slots.(pid) <- Fresh;
+    t.local_sig.(pid) <- 0
   done;
   t.epoch <- t.epoch + bump;
   List.iter (fun hook -> hook ~epoch:t.epoch) t.crash_hooks
 
 let on_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
+
+(* --- state identity (for the model checker's visited set) --- *)
+
+let fingerprint t =
+  let h = Encode.mix Encode.fingerprint_seed t.epoch in
+  let h = ref h in
+  for pid = 1 to t.n do
+    let tag =
+      match t.slots.(pid) with Fresh -> 1 | Waiting _ -> 2 | Finished -> 3
+    in
+    h := Encode.mix !h tag;
+    h := Encode.mix !h t.local_sig.(pid)
+  done;
+  !h
+
+let step_footprint t pid =
+  if pid < 1 || pid > t.n then invalid_arg "Runtime.step_footprint: bad pid";
+  match t.slots.(pid) with
+  | Fresh ->
+    (* Starting the body runs arbitrary setup up to its first operation,
+       which then executes within the same step — unknowable without
+       running it. *)
+    None
+  | Finished -> Some []
+  | Waiting st -> (
+    match st with
+    | Returned -> Some []
+    | Sus_op (op, _) -> Some (Memory.footprint op)
+    | Sus_await (c, _, _) -> Some [ (Memory.id c, false) ]
+    | Sus_await2 (c1, c2, _, _) ->
+      Some [ (Memory.id c1, false); (Memory.id c2, false) ])

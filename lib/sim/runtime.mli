@@ -84,3 +84,25 @@ val on_crash : t -> (epoch:int -> unit) -> unit
 (** Register a callback invoked during each crash step, after the fibers
     are destroyed and the epoch advanced. Monitors use this to reset
     volatile bookkeeping. *)
+
+val fingerprint : t -> int
+(** A deterministic hash of the runtime's control state: the epoch plus,
+    per process, its slot kind (fresh / suspended / finished) and its
+    {e local signature} — a hash of the values the fiber has consumed
+    since it last (re)started. Process bodies are deterministic functions
+    of [(pid, epoch, consumed values)], so across replays of the same
+    scenario, equal [fingerprint]s plus equal {!Memory.fingerprint}s
+    identify states with identical futures (up to hash collisions).
+    Effects continuations themselves are opaque; the consumed-value
+    signature is the canonical encoding that replaces them. Crash steps
+    reset the signatures along with the fibers. Observer API: computing
+    it takes no step and charges no RMR. *)
+
+val step_footprint : t -> int -> (int * bool) list option
+(** The shared-memory accesses [(cell id, may_write)] that [step t pid]
+    would perform right now: the suspended operation's footprint, or the
+    spin re-read(s) of an await. [None] for a fresh process (starting the
+    body executes arbitrary setup plus its first operation — unknown
+    without running it), so callers must treat fresh processes as
+    touching everything. Used by the model checker's partial-order
+    reduction to decide whether two processes' next steps commute. *)

@@ -101,6 +101,199 @@ let violation_messages_deduplicated () =
     (List.length sorted)
     (List.length o.Harness.Model_check.violations)
 
+(* --- state-space reduction (DESIGN.md §5.13) --- *)
+
+let levels =
+  [
+    Harness.Model_check.No_reduction;
+    Harness.Model_check.Dedup;
+    Harness.Model_check.Por;
+  ]
+
+let level_name = Harness.Model_check.reduction_to_string
+
+(* The reduction contract: pruning must never change what the search
+   concludes. Every clean scenario stays clean at every level and every
+   job count, and the run count never grows. *)
+let reduction_preserves_clean_verdicts () =
+  let roster =
+    [
+      ( "t2-mcs-n2-d1c1",
+        fun ~reduction ~jobs ->
+          Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1
+            ~reduction ~jobs
+            (Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+               ~make:(fun mem -> Rme.Stack.recoverable mem "t2-mcs")
+               ()) );
+      ( "fasas-clh-n2-d1co1",
+        fun ~reduction ~jobs ->
+          Harness.Model_check.explore ~divergence_bound:1 ~crash_one_bound:1
+            ~reduction ~jobs
+            (Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+               ~make:(fun mem -> Rme.Stack.recoverable mem "rclh-fasas")
+               ()) );
+      ( "barrier-n2-2epochs-d1c1",
+        fun ~reduction ~jobs ->
+          Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1
+            ~reduction ~jobs
+            (Harness.Scenarios.barrier ~epochs:2 ~n:2 ~model:Memory.Dsm ()) );
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let base = f ~reduction:Harness.Model_check.No_reduction ~jobs:1 in
+      Alcotest.(check (list string))
+        (name ^ " none clean") [] base.Harness.Model_check.violations;
+      List.iter
+        (fun reduction ->
+          List.iter
+            (fun jobs ->
+              let o = f ~reduction ~jobs in
+              let what =
+                Printf.sprintf "%s %s jobs=%d" name (level_name reduction) jobs
+              in
+              Alcotest.(check (list string))
+                (what ^ ": verdict") [] o.Harness.Model_check.violations;
+              Alcotest.(check int)
+                (what ^ ": deadlocks") 0 o.Harness.Model_check.deadlocks;
+              Alcotest.(check bool)
+                (what ^ ": runs never grow") true
+                (o.Harness.Model_check.runs <= base.Harness.Model_check.runs))
+            [ 1; 2; 4 ])
+        [ Harness.Model_check.Dedup; Harness.Model_check.Por ])
+    roster
+
+(* ... and every planted bug must still be found at every level. *)
+let broken_lock_flagged_at_every_level () =
+  List.iter
+    (fun reduction ->
+      let sc =
+        Harness.Scenarios.rme ~n:2 ~model:Memory.Cc ~make:broken_lock ()
+      in
+      let o =
+        Harness.Model_check.explore ~divergence_bound:1 ~reduction
+          ~stop_on_first:true sc
+      in
+      Alcotest.(check bool)
+        (level_name reduction ^ " finds ME bug")
+        true
+        (o.Harness.Model_check.violations <> []))
+    levels
+
+let leaky_lock_flagged_at_every_level () =
+  List.iter
+    (fun reduction ->
+      let sc =
+        Harness.Scenarios.rme ~n:2 ~model:Memory.Cc ~make:leaky_lock ()
+      in
+      let o =
+        Harness.Model_check.explore ~divergence_bound:0 ~reduction
+          ~stop_on_first:true sc
+      in
+      Alcotest.(check bool)
+        (level_name reduction ^ " finds deadlock")
+        true
+        (o.Harness.Model_check.deadlocks > 0))
+    levels
+
+let csr_ablation_flagged_at_every_level () =
+  List.iter
+    (fun reduction ->
+      let sc =
+        Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+          ~make:(fun mem -> Rme.Stack.recoverable mem "t1-mcs")
+          ()
+      in
+      let o =
+        Harness.Model_check.explore ~divergence_bound:2 ~crash_bound:1
+          ~reduction ~stop_on_first:true sc
+      in
+      Alcotest.(check bool)
+        (level_name reduction ^ " finds T1 CSR violation")
+        true
+        (o.Harness.Model_check.violations <> []))
+    levels
+
+(* Sequential reduced searches are fully deterministic (the parallel
+   variants are only verdict-deterministic: speculative replays race to
+   claim fingerprints, so counts may differ between executions). *)
+let reduced_search_deterministic_sequential () =
+  List.iter
+    (fun reduction ->
+      let go () =
+        let sc =
+          Harness.Scenarios.rme ~n:2 ~model:Memory.Dsm
+            ~make:(fun mem -> Rme.Stack.recoverable mem "t2-mcs")
+            ()
+        in
+        let o =
+          Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1
+            ~reduction ~jobs:1 sc
+        in
+        ( o.Harness.Model_check.runs,
+          o.Harness.Model_check.steps,
+          o.Harness.Model_check.distinct_states,
+          o.Harness.Model_check.pruned_runs,
+          o.Harness.Model_check.pruned_branches,
+          o.Harness.Model_check.violations )
+      in
+      Alcotest.(check bool)
+        (level_name reduction ^ " identical twice")
+        true
+        (go () = go ()))
+    levels
+
+let no_reduction_reports_zero_counters () =
+  let sc =
+    Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+      ~make:(fun mem -> Rme.Stack.recoverable mem "t1-mcs")
+      ()
+  in
+  let o = Harness.Model_check.explore ~divergence_bound:1 sc in
+  Alcotest.(check int) "states" 0 o.Harness.Model_check.distinct_states;
+  Alcotest.(check int) "pruned runs" 0 o.Harness.Model_check.pruned_runs;
+  Alcotest.(check int) "pruned branches" 0 o.Harness.Model_check.pruned_branches
+
+let reduction_actually_prunes () =
+  let explore reduction =
+    Harness.Model_check.explore ~divergence_bound:2 ~crash_bound:1 ~reduction
+      (Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+         ~make:(fun mem -> Rme.Stack.recoverable mem "t2-mcs")
+         ())
+  in
+  let none = explore Harness.Model_check.No_reduction in
+  let dedup = explore Harness.Model_check.Dedup in
+  let por = explore Harness.Model_check.Por in
+  Alcotest.(check bool)
+    "dedup < none" true
+    (dedup.Harness.Model_check.runs < none.Harness.Model_check.runs);
+  Alcotest.(check bool)
+    "por <= dedup" true
+    (por.Harness.Model_check.runs <= dedup.Harness.Model_check.runs);
+  Alcotest.(check bool)
+    "por skipped branches" true
+    (por.Harness.Model_check.pruned_branches > 0);
+  Alcotest.(check bool)
+    "states recorded" true
+    (dedup.Harness.Model_check.distinct_states > 0)
+
+(* Budget bounds whose clamped vector space exceeds one word fall back to
+   mixing the budget vector into the fingerprint key (Key_mix). 8*8 = 64
+   > 62 forces the fallback; the (truncated) search must still prune and
+   stay clean. epochs = crash_bound + 1, as everywhere: a barrier whose
+   leader can run out of rounds while a follower still has one to retry
+   deadlocks by construction. *)
+let key_mix_fallback_still_sound () =
+  let o =
+    Harness.Model_check.explore ~divergence_bound:7 ~crash_bound:7
+      ~max_runs:2_000 ~reduction:Harness.Model_check.Dedup
+      (Harness.Scenarios.barrier ~epochs:8 ~n:2 ~model:Memory.Cc ())
+  in
+  Alcotest.(check (list string)) "clean" [] o.Harness.Model_check.violations;
+  Alcotest.(check bool)
+    "still prunes" true
+    (o.Harness.Model_check.pruned_runs > 0)
+
 let () =
   Alcotest.run "model_check"
     [
@@ -119,5 +312,18 @@ let () =
         [
           case "deterministic" deterministic;
           case "dedup-messages" violation_messages_deduplicated;
+        ] );
+      ( "reduction",
+        [
+          case "clean-verdicts-all-levels-all-jobs"
+            reduction_preserves_clean_verdicts;
+          case "broken-lock-all-levels" broken_lock_flagged_at_every_level;
+          case "leaky-lock-all-levels" leaky_lock_flagged_at_every_level;
+          case "csr-ablation-all-levels" csr_ablation_flagged_at_every_level;
+          case "sequential-deterministic"
+            reduced_search_deterministic_sequential;
+          case "none-counters-zero" no_reduction_reports_zero_counters;
+          case "actually-prunes" reduction_actually_prunes;
+          case "key-mix-fallback" key_mix_fallback_still_sound;
         ] );
     ]

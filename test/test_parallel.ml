@@ -56,6 +56,82 @@ let shutdown_is_idempotent () =
   Pool.shutdown pool;
   Pool.shutdown pool
 
+(* --- visited set (the reduction engine's shared state) --- *)
+
+module Vset = Parallel.Vset
+
+let vset_first_visit_then_covered () =
+  let vs = Vset.create () in
+  Alcotest.(check bool)
+    "first visit" false
+    (Vset.covers_or_add vs 42 ~bit:1 ~closure:1);
+  Alcotest.(check bool)
+    "second visit covered" true
+    (Vset.covers_or_add vs 42 ~bit:1 ~closure:1);
+  Alcotest.(check bool) "mem" true (Vset.mem vs 42);
+  Alcotest.(check bool) "absent key" false (Vset.mem vs 43);
+  Alcotest.(check int) "cardinal" 1 (Vset.cardinal vs)
+
+(* The budget-dominance contract: an arrival is covered iff its own bit
+   is already in the stored mask; a miss ORs in the whole closure, so a
+   later arrival at a dominated budget is covered without its own
+   insert. *)
+let vset_closure_covers_dominated_budgets () =
+  let vs = Vset.create () in
+  (* Visit at budget bit 0 whose domination closure is {0,1,2}. *)
+  Alcotest.(check bool)
+    "rich visit" false
+    (Vset.covers_or_add vs 7 ~bit:0b001 ~closure:0b111);
+  (* A dominated arrival (bit 2 in the closure) is pruned... *)
+  Alcotest.(check bool)
+    "dominated covered" true
+    (Vset.covers_or_add vs 7 ~bit:0b100 ~closure:0b100);
+  (* ... and a bit outside the closure is a fresh visit that widens it. *)
+  Alcotest.(check bool)
+    "uncovered bit" false
+    (Vset.covers_or_add vs 7 ~bit:0b1000 ~closure:0b1000);
+  Alcotest.(check bool)
+    "now covered" true
+    (Vset.covers_or_add vs 7 ~bit:0b1000 ~closure:0b1000);
+  Alcotest.(check int) "one key" 1 (Vset.cardinal vs)
+
+let vset_growth_keeps_all_keys () =
+  let vs = Vset.create ~shards:2 () in
+  (* Push well past the 64-slot initial capacity to force regrowth,
+     including the normalized key 0. *)
+  for k = 0 to 999 do
+    Alcotest.(check bool)
+      (Printf.sprintf "first add %d" k)
+      false
+      (Vset.covers_or_add vs k ~bit:1 ~closure:1)
+  done;
+  for k = 0 to 999 do
+    Alcotest.(check bool)
+      (Printf.sprintf "still present %d" k)
+      true
+      (Vset.covers_or_add vs k ~bit:1 ~closure:1)
+  done;
+  Alcotest.(check int) "cardinal" 1000 (Vset.cardinal vs)
+
+(* Exactly one domain wins the first visit of each key, however the
+   insertions race. *)
+let vset_concurrent_first_visit_unique () =
+  let vs = Vset.create ~shards:8 () in
+  let keys = 2_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let wins = ref 0 in
+            for k = 1 to keys do
+              if not (Vset.covers_or_add vs k ~bit:1 ~closure:1) then
+                incr wins
+            done;
+            !wins))
+  in
+  let total = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  Alcotest.(check int) "each key won exactly once" keys total;
+  Alcotest.(check int) "cardinal" keys (Vset.cardinal vs)
+
 (* --- explore determinism --- *)
 
 let rme ?(check_csr = true) stack n model =
@@ -249,6 +325,13 @@ let () =
           case "shutdown-idempotent" shutdown_is_idempotent;
           case "broadcast-wakes-workers" broadcast_reaches_idle_workers;
           case "many-awaiters" many_awaiters_stress;
+        ] );
+      ( "vset",
+        [
+          case "first-then-covered" vset_first_visit_then_covered;
+          case "closure-dominance" vset_closure_covers_dominated_budgets;
+          case "growth" vset_growth_keeps_all_keys;
+          case "concurrent-unique-first" vset_concurrent_first_visit_unique;
         ] );
       ("explore-determinism", List.map explore_case scenarios);
       ( "isolation",
