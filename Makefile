@@ -19,24 +19,26 @@ differential: build
 	dune exec test/test_differential.exe
 
 # E1 exercises the sweep fan-out, E9 the parallel model checker, E12 the
-# reduction engine, all on a 2-worker pool. Any safety violation
-# (assert_ok), E9/E12 expectation mismatch (a clean row reporting a
-# violation, a known-negative row failing to find one, or the reduction
-# ratio collapsing) makes the binary exit non-zero. The emitted
-# BENCH_E*.json are then schema-checked AND diffed against the committed
+# reduction engine, E13 the incremental-fingerprint hot path, all on a
+# 2-worker pool. Any safety violation (assert_ok), E9/E12/E13
+# expectation mismatch (a clean row reporting a violation, a
+# known-negative row failing to find one, or the reduction ratio
+# collapsing) makes the binary exit non-zero. The emitted BENCH_E*.json
+# are then schema-checked AND diffed against the committed
 # bench/baselines/ — safety columns byte-exact, other numeric cells
-# within a 10% band (all three tables are seeded/DFS-deterministic, so
-# any drift means behaviour actually changed; if it changed on purpose,
-# `make baselines` regenerates the expectation — say why in the PR).
+# within a 10% band (all four tables are seeded/DFS-deterministic where
+# printed, so any drift means behaviour actually changed; if it changed
+# on purpose, `make baselines` regenerates the expectation — say why in
+# the PR).
 bench-smoke: build
-	dune exec bench/main.exe -- e1 e9 e12 --jobs 2
+	dune exec bench/main.exe -- e1 e9 e12 e13 --jobs 2
 	dune exec bench/validate.exe -- --baseline bench/baselines \
-	  BENCH_E1.json BENCH_E9.json BENCH_E12.json
+	  BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json
 
 # Refresh the committed expectations after a deliberate behaviour change.
 baselines: build
-	dune exec bench/main.exe -- e1 e9 e12 --jobs 2
-	cp BENCH_E1.json BENCH_E9.json BENCH_E12.json bench/baselines/
+	dune exec bench/main.exe -- e1 e9 e12 e13 --jobs 2
+	cp BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json bench/baselines/
 
 # The nightly deep model-check: the E9/E12 roster's algorithm stacks at
 # larger bounds than CI's smoke run can afford, made tractable by
@@ -61,6 +63,8 @@ deep-check: build
 	  --reduce por --out deep-check/barrier-n3-d3-c2.json
 	dune exec bin/rme_cli.exe -- model-check --scenario barrier-sub -n 3 \
 	  --model dsm -d 3 --reduce por --out deep-check/barrier-sub-n3-d3.json
+	dune exec bench/main.exe -- e13
+	cp BENCH_E13.json deep-check/
 
 # Standalone schema check over whatever BENCH_E*.json are lying around.
 validate: build
@@ -72,13 +76,21 @@ e10-smoke: build
 	dune exec bench/main.exe -- e10 --quick
 	dune exec bench/validate.exe -- BENCH_E10.json
 
+# E13 at reduced budgets (schema check only — the full run inside
+# bench-smoke is the baseline-gated one; --quick shrinks the throughput
+# probe and drops the jobs-4 checker cells, so its table differs from
+# the committed expectation by design).
+e13-smoke: build
+	dune exec bench/main.exe -- e13 --quick
+	dune exec bench/validate.exe -- BENCH_E13.json
+
 # A small Perfetto-loadable trace of T1(MCS) under a crash storm — CI
 # uploads it as an artifact so a run's behaviour can be eyeballed.
 trace-sample: build
 	dune exec bin/rme_cli.exe -- trace --stack t1-mcs -n 4 --steps 2000 \
 	  --crash-every 300 --format chrome --out trace_sample.json
 
-ci: build test differential bench-smoke e10-smoke trace-sample
+ci: build test differential e13-smoke bench-smoke e10-smoke trace-sample
 
 clean:
 	dune clean

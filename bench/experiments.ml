@@ -831,6 +831,178 @@ let reduction_sweep ~pool () =
       ]
     rows
 
+(* E13: simulator and checker throughput (DESIGN.md §5.14). Table A
+   drives a deterministic round-robin scheduler over larger-n scenarios
+   and measures raw steps/s with per-step fingerprinting off and on —
+   the "on" variant is exactly the dedup/por per-step cost (memory +
+   runtime digests + monitor hooks), so it isolates what the incremental
+   Zobrist digests buy. Table B times full [explore] calls across
+   scenarios x reduce none|por x jobs 1/4. Counts are printed only where
+   deterministic (none at any jobs; por at jobs=1 — with jobs>1 replays
+   race to claim states, see DESIGN.md §5.13); nondeterministic cells
+   show "-" so the table stays baseline-comparable. All wall-clocks and
+   steps/s are machine-dependent and go to the metrics. *)
+let throughput_sweep () =
+  let module MC = Harness.Model_check in
+  let rme ?(check_csr = true) stack n model =
+    Harness.Scenarios.rme ~check_csr ~n ~model
+      ~make:(fun mem -> Rme.Stack.recoverable mem stack)
+      ()
+  in
+  (* Table A: hand-rolled stepping loop. Round-robin over unblocked
+     runnable processes; when a full sweep finds nothing productive
+     (everyone finished or spin-blocked) a system-wide crash restarts
+     the bodies, so the loop always reaches [budget] steps. Everything
+     is deterministic except the wall-clock. *)
+  let probe ~fingerprints ~budget (sc : MC.scenario) =
+    let mem = Memory.create ~model:sc.model ~n:sc.n in
+    let crash_hooks = ref [] and fp_hooks = ref [] in
+    let ctx : MC.ctx =
+      {
+        violation = (fun msg -> failwith ("E13: unexpected violation: " ^ msg));
+        on_crash = (fun h -> crash_hooks := h :: !crash_hooks);
+        on_crash_one = (fun _ -> ());
+        on_finish = (fun _ -> ());
+        on_fingerprint = (fun h -> fp_hooks := h :: !fp_hooks);
+      }
+    in
+    let body = sc.make_body mem ctx in
+    let rt = Runtime.create mem ~body in
+    List.iter (Runtime.on_crash rt) !crash_hooks;
+    let digest = ref 0 and crashes = ref 0 and steps = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    while !steps < budget do
+      let productive = ref false in
+      let pid = ref 1 in
+      while !pid <= sc.n && !steps < budget do
+        if Runtime.runnable rt !pid && not (Runtime.blocked rt !pid) then begin
+          Runtime.step rt !pid;
+          incr steps;
+          productive := true;
+          if fingerprints then begin
+            let d =
+              Encode.mix (Memory.fingerprint mem) (Runtime.fingerprint rt)
+            in
+            digest :=
+              Encode.mix !digest
+                (List.fold_left (fun acc h -> Encode.mix acc (h ())) d !fp_hooks)
+          end
+        end;
+        incr pid
+      done;
+      if (not !productive) && !steps < budget then begin
+        Runtime.crash rt ();
+        incr crashes;
+        incr steps
+      end
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    ignore !digest;
+    (!steps, !crashes, wall)
+  in
+  let budget = if !quick then 20_000 else 200_000 in
+  let roster_a =
+    [
+      ("T2 stack, n=6 CC", rme "t2-mcs" 6 Memory.Cc);
+      ("T3 stack, n=6 CC", rme "t3-mcs" 6 Memory.Cc);
+      ( "Barrier, n=8 DSM",
+        Harness.Scenarios.barrier ~epochs:3 ~n:8 ~model:Memory.Dsm () );
+    ]
+  in
+  let rows_a =
+    List.concat_map
+      (fun (name, sc) ->
+        let rates =
+          List.map
+            (fun fingerprints ->
+              let steps, crashes, wall = probe ~fingerprints ~budget sc in
+              let rate = float_of_int steps /. Float.max 1e-9 wall in
+              Report.metric
+                ~name:
+                  (Printf.sprintf "e13.%s.fp_%s.steps_per_s" name
+                     (if fingerprints then "on" else "off"))
+                (Sim.Json.Float (Float.round rate));
+              ( [
+                  name;
+                  (if fingerprints then "on" else "off");
+                  string_of_int steps;
+                  string_of_int crashes;
+                ],
+                rate ))
+            [ false; true ]
+        in
+        (match rates with
+        | [ (_, off); (_, on) ] ->
+          Report.metric
+            ~name:(Printf.sprintf "e13.%s.fp_overhead_ratio" name)
+            (Sim.Json.Float (Float.round (off /. on *. 100.) /. 100.))
+        | _ -> assert false);
+        List.map fst rates)
+      roster_a
+  in
+  Report.table
+    ~title:
+      "E13a: raw step throughput, per-step state fingerprinting off vs on \
+       (deterministic round-robin driver; steps/s in the metrics)"
+    ~header:[ "scenario"; "fingerprints"; "steps"; "crashes" ] rows_a;
+  (* Table B: full checker wall-clock. Sequential on purpose — each cell
+     owns the machine, like E10 (the [~jobs] here is the checker's own
+     speculation width, not the bench pool's). *)
+  let roster_b =
+    [
+      ("T2 stack, n=2 CC, d2 c1", 2, 1, 0, rme "t2-mcs" 2 Memory.Cc);
+      ( "Barrier, n=2 DSM, 3 epochs, d1 c2", 1, 2, 0,
+        Harness.Scenarios.barrier ~epochs:3 ~n:2 ~model:Memory.Dsm () );
+      ( "FASAS-CLH, n=2 CC, d1, 2 indep. crashes", 1, 0, 2,
+        rme "rclh-fasas" 2 Memory.Cc );
+    ]
+  in
+  let levels = [ MC.No_reduction; MC.Por ] in
+  let job_counts = if !quick then [ 1 ] else [ 1; 4 ] in
+  let rows_b =
+    List.concat_map
+      (fun (name, d, c, co, sc) ->
+        List.concat_map
+          (fun level ->
+            List.map
+              (fun jobs ->
+                let t0 = Unix.gettimeofday () in
+                let o =
+                  MC.explore ~divergence_bound:d ~crash_bound:c
+                    ~crash_one_bound:co ~max_runs:600_000 ~reduction:level
+                    ~jobs sc
+                in
+                let wall = Unix.gettimeofday () -. t0 in
+                (match o.MC.violations with
+                | v :: _ -> failwith ("E13: " ^ name ^ ": violation: " ^ v)
+                | [] -> ());
+                Report.metric
+                  ~name:
+                    (Printf.sprintf "e13.%s.%s.j%d.wall_s" name
+                       (MC.reduction_to_string level) jobs)
+                  (Sim.Json.Float (Float.round (wall *. 1000.) /. 1000.));
+                let deterministic = level = MC.No_reduction || jobs = 1 in
+                let count v = if deterministic then string_of_int v else "-" in
+                [
+                  name;
+                  MC.reduction_to_string level;
+                  string_of_int jobs;
+                  count o.MC.runs;
+                  count o.MC.distinct_states;
+                  (match o.MC.violations with [] -> "none" | v :: _ -> v);
+                ])
+              job_counts)
+          levels)
+      roster_b
+  in
+  Report.table
+    ~title:
+      "E13b: model-checker wall-clock sweep (wall_s in the metrics; counts \
+       shown only where deterministic — reduce=none at any jobs, reduced \
+       searches at jobs=1)"
+    ~header:[ "scenario"; "reduce"; "jobs"; "runs"; "states"; "violations" ]
+    rows_b
+
 (* E10 deliberately ignores the pool: it spawns its own worker domains
    and measures wall-clock, so sharing cores with bench workers would
    corrupt the numbers. *)
@@ -851,4 +1023,5 @@ let all : (string * (pool:Pool.t -> unit)) list =
         native_contended () );
     ("e11", fun ~pool -> failure_model_separation ~pool ());
     ("e12", fun ~pool -> reduction_sweep ~pool ());
+    ("e13", fun ~pool:_ -> throughput_sweep ());
   ]

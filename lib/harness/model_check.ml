@@ -122,7 +122,7 @@ type run_result = {
 }
 
 let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
-    ~max_steps ~reduction ~vset ~coding { base; cut; alt } =
+    ~max_steps ~reduction ~vset ~coding ~eager { base; cut; alt } =
   let local_violations = ref [] in
   let violation msg = local_violations := msg :: !local_violations in
   let mem = Memory.create ~model:scenario.model ~n:scenario.n in
@@ -142,6 +142,15 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
   let body = scenario.make_body mem ctx in
   let rt = Runtime.create mem ~body in
   List.iter (Runtime.on_crash rt) !crash_hooks;
+  (* The incremental memory/runtime digests switch themselves on at the
+     first [fingerprint] call, which [covered] issues only past [cut] —
+     so the shared prefix fast-forwards with zero fingerprint
+     bookkeeping. [eager] (testing only) forces maintenance on from step
+     0, i.e. disables the fast-forward; outcomes must not change. *)
+  if eager then begin
+    ignore (Memory.fingerprint mem);
+    ignore (Runtime.fingerprint rt)
+  end;
   let forced_len = if alt <> no_alt then cut + 1 else cut in
   let forced i = if i < cut then base.(i) else alt in
   (* The trace actually taken, and the positions at which alternatives
@@ -229,8 +238,13 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
      default for free). Crash decisions conflict with everything and a
      fresh process's first step is opaque, so both stay branched.
      DESIGN.md §5.13 gives the commutation argument. *)
+  (* Conflict-set scratch for [branch_mask], reused across choice points
+     (cleared per call). Only the [Bitset.snapshot] it returns escapes —
+     choice points outlive the loop, so those snapshots must stay. *)
+  let dep_scratch = Bitset.create scenario.n in
   let branch_mask default_pid =
-    let dep = Bitset.create scenario.n in
+    let dep = dep_scratch in
+    Bitset.clear dep;
     (match Runtime.step_footprint rt default_pid with
     | None -> Bitset.iter (fun q -> Bitset.add dep q) pmask
     | Some df ->
@@ -366,16 +380,28 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
    entry may carry a speculative in-flight evaluation. *)
 type entry = { it : item; mutable fut : run_result Parallel.Pool.future option }
 
+(* Pre-sizing hint for the next exploration's visited set: the previous
+   reduced search's [distinct_states]. Repeated searches (E12's roster,
+   test sweeps) then allocate their tables at full size up front instead
+   of rehash-growing through the hot loop. A hint only — never affects
+   counts or verdicts. *)
+let last_distinct_states = Atomic.make 0
+
 let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     ?(max_steps = 20_000) ?(max_runs = 200_000) ?(stop_on_first = false)
-    ?(reduction = No_reduction) ?(jobs = 1) ?pool scenario =
+    ?(reduction = No_reduction) ?(jobs = 1) ?pool
+    ?(eager_fingerprints = false) scenario =
   let jobs =
     match pool with Some p -> Parallel.Pool.jobs p | None -> max 1 jobs
   in
   let vset =
     match reduction with
     | No_reduction -> None
-    | Dedup | Por -> Some (Parallel.Vset.create ~shards:(4 * jobs) ())
+    | Dedup | Por ->
+      Some
+        (Parallel.Vset.create ~shards:(4 * jobs)
+           ~initial_capacity:(Atomic.get last_distinct_states)
+           ())
   in
   let coding =
     match vset with
@@ -384,7 +410,7 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
   in
   let replay =
     replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
-      ~max_steps ~reduction ~vset ~coding
+      ~max_steps ~reduction ~vset ~coding ~eager:eager_fingerprints
   in
   (* Commit state. Every run's contribution is folded in here, in the
      order the sequential engine would have executed the runs, so the
@@ -483,7 +509,12 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     deadlocks = !deadlocks;
     truncated = !stack <> [];
     distinct_states =
-      (match vset with None -> 0 | Some vs -> Parallel.Vset.cardinal vs);
+      (match vset with
+      | None -> 0
+      | Some vs ->
+        let c = Parallel.Vset.cardinal vs in
+        Atomic.set last_distinct_states c;
+        c);
     pruned_runs = !pruned_runs;
     pruned_branches = !pruned_branches;
   }

@@ -129,6 +129,7 @@ val explore :
   ?reduction:reduction ->
   ?jobs:int ->
   ?pool:Parallel.Pool.t ->
+  ?eager_fingerprints:bool ->
   scenario ->
   outcome
 (** Defaults: [divergence_bound = 1], [crash_bound = 0],
@@ -151,6 +152,13 @@ val explore :
     discarded. [jobs <= 1] takes the exact legacy sequential path. [pool]
     reuses a caller-owned pool (its size overrides [jobs]) instead of
     spawning a transient one.
+
+    [eager_fingerprints] (default false; testing only) forces the
+    incremental memory/runtime digests on from step 0 of every replay,
+    instead of letting them switch on lazily at the first covered-check
+    past the shared prefix. The outcome must be identical either way —
+    [test/test_fingerprint.ml] pins this; there is no reason to set it
+    in production code.
 
     Determinism under reduction: with [jobs <= 1] the reduced search is
     fully deterministic. With [jobs > 1] speculative replays race to

@@ -23,20 +23,24 @@ let remix v =
   let h = h * 0x27D4EB2F165667C5 in
   h lxor (h lsr 32)
 
-let initial_capacity = 64
+let min_capacity = 64
 
-let make_shard () =
+let make_shard cap =
   {
     lock = Mutex.create ();
-    keys = Array.make initial_capacity 0;
-    masks = Array.make initial_capacity 0;
+    keys = Array.make cap 0;
+    masks = Array.make cap 0;
     count = 0;
   }
 
-let create ?(shards = 16) () =
-  let rec pow2 k = if k >= shards then k else pow2 (k * 2) in
-  let n = pow2 1 in
-  { shards = Array.init n (fun _ -> make_shard ()); shard_mask = n - 1 }
+let create ?(shards = 16) ?(initial_capacity = 0) () =
+  let rec pow2 c k = if k >= c then k else pow2 c (k * 2) in
+  let n = pow2 shards 1 in
+  (* Pre-size each shard so [initial_capacity] keys fit without a grow
+     step: tables double once 2*count >= capacity, so the per-shard
+     capacity must stay above twice the expected per-shard share. *)
+  let cap = pow2 (max min_capacity ((2 * initial_capacity / n) + 1)) 1 in
+  { shards = Array.init n (fun _ -> make_shard cap); shard_mask = n - 1 }
 
 (* [keys] slot 0 is the empty sentinel, so the (astronomically unlikely)
    key 0 is nudged onto a fixed non-zero value. *)

@@ -20,10 +20,17 @@
 
 type t
 
-val create : ?shards:int -> unit -> t
+val create : ?shards:int -> ?initial_capacity:int -> unit -> t
 (** [create ~shards ()] makes an empty set with at least [shards] shards
     (rounded up to a power of two; default 16). Size shards to the worker
-    count; extra shards only cost a few empty arrays. *)
+    count; extra shards only cost a few empty arrays.
+
+    [initial_capacity] (default 0) is a sizing {e hint}: the expected
+    total number of keys. Shards are pre-sized so that many insertions
+    trigger no incremental rehash — the model checker passes the
+    previous search's [distinct_states] to avoid rehash storms on
+    repeated explorations. Purely an allocation strategy; never affects
+    results. *)
 
 val covers_or_add : t -> int -> bit:int -> closure:int -> bool
 (** [covers_or_add t key ~bit ~closure] returns [true] if [key]'s stored

@@ -42,3 +42,14 @@ let mix h v =
 let fingerprint_seed = 0x1A2B3C4D5E6F
 
 let mix_array h a = Array.fold_left mix h a
+
+(* Zobrist-style per-slot contribution: [zobrist slot v] hashes the pair
+   (slot, v) so that XOR-combining one contribution per live slot forms
+   an incrementally updatable digest — changing slot [s] from [v] to
+   [v'] is [digest lxor zobrist s v lxor zobrist s v'], O(1) per update.
+   Swapped values cannot cancel: slots enter through the per-slot key
+   [mix fingerprint_seed slot], so [zobrist a x lxor zobrist b y] and
+   [zobrist a y lxor zobrist b x] differ unless the avalanche collides.
+   Callers on a hot path should precompute the per-slot key once and
+   use [mix key v] directly. *)
+let zobrist slot v = mix (mix fingerprint_seed slot) v

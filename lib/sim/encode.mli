@@ -49,3 +49,15 @@ val mix_array : int -> int array -> int
 
 val fingerprint_seed : int
 (** Canonical initial accumulator for a fingerprint fold. *)
+
+val zobrist : int -> int -> int
+(** [zobrist slot v] is the Zobrist-style contribution of value [v] held
+    in [slot]: [mix (mix fingerprint_seed slot) v]. XOR-combining one
+    contribution per slot yields a digest that supports O(1) in-place
+    updates (xor the old contribution out, the new one in) and is
+    insensitive to combination order — the basis of the incremental
+    {!Memory.fingerprint} and {!Runtime.fingerprint} (DESIGN.md §5.14).
+    The per-slot key makes cross-slot cancellation (two slots swapping
+    values) collide only if the underlying avalanche does. Hot paths
+    should precompute [mix fingerprint_seed slot] per slot and fold
+    values with a single {!mix}. *)

@@ -12,12 +12,17 @@ let model_of_string s =
 
 (* [readers] is a bitset over process IDs (bit [pid - 1] of word
    [(pid - 1) / 62]); it tracks which processes hold a valid cached copy
-   under the CC model's in-cache-read rule. *)
+   under the CC model's in-cache-read rule. [zkey] is the cell's Zobrist
+   key [Encode.mix fingerprint_seed id], precomputed so a value update
+   costs one {!Encode.mix} per xor side. [dirty] marks the cell as
+   written since the last {!snapshot} (the dirty-set snapshot patch). *)
 type cell = {
   id : int;  (* dense allocation index, 0-based; keys snapshots *)
   name : string;
   home : int;
+  zkey : int;
   mutable value : int;
+  mutable dirty : bool;
   readers : int array;
 }
 
@@ -28,12 +33,31 @@ type t = {
   rmr_count : int array; (* 1-based; index 0 unused *)
   step_count : int array;
   mutable tracer : tracer option;
-  (* Allocation registry, newest first. Allocation order is deterministic
-     (cells are created by scenario/algorithm setup code), so two replays
-     of the same scenario assign identical ids — which is what makes
-     snapshots and fingerprints comparable across runs. *)
-  mutable cells : cell list;
+  (* Allocation registry: a dense growable array indexed by cell id.
+     Allocation order is deterministic (cells are created by
+     scenario/algorithm setup code), so two replays of the same scenario
+     assign identical ids — which is what makes snapshots and
+     fingerprints comparable across runs. Only the first [n_cells]
+     entries are live. *)
+  mutable cells : cell array;
   mutable n_cells : int;
+  (* Running Zobrist digest: xor over live cells of
+     [Encode.mix zkey value]. Maintained incrementally only once
+     [fp_live] — flipped by the first {!fingerprint} call — so runs that
+     never fingerprint (e.g. model checking with [--reduce none], or the
+     forced prefix of a replay) pay nothing beyond one dead branch per
+     write (DESIGN.md §5.14). *)
+  mutable fp : int;
+  mutable fp_live : bool;
+  (* Dirty-set snapshot support: [snap] holds the values as of the last
+     {!snapshot} call; [dirty_ids]'s first [n_dirty] entries are the ids
+     written since, so the next snapshot patches only those. *)
+  mutable snap : int array;
+  mutable dirty_ids : int array;
+  mutable n_dirty : int;
+  (* RMR flag of the most recent [exec_*] call; lets {!apply} return the
+     (result, rmr) pair without the fast paths boxing a tuple. *)
+  mutable last_rmr : bool;
 }
 
 and tracer = pid:int -> op -> result:int -> rmr:bool -> unit
@@ -57,8 +81,14 @@ let create ~model ~n =
     rmr_count = Array.make (n + 1) 0;
     step_count = Array.make (n + 1) 0;
     tracer = None;
-    cells = [];
+    cells = [||];
     n_cells = 0;
+    fp = 0;
+    fp_live = false;
+    snap = [||];
+    dirty_ids = Array.make 8 0;
+    n_dirty = 0;
+    last_rmr = false;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
@@ -66,13 +96,40 @@ let set_tracer t tracer = t.tracer <- tracer
 let model t = t.model
 let n t = t.n
 
+let push_dirty t id =
+  let cap = Array.length t.dirty_ids in
+  if t.n_dirty = cap then begin
+    let bigger = Array.make (2 * cap) 0 in
+    Array.blit t.dirty_ids 0 bigger 0 cap;
+    t.dirty_ids <- bigger
+  end;
+  t.dirty_ids.(t.n_dirty) <- id;
+  t.n_dirty <- t.n_dirty + 1
+
 let cell t ~name ~home init =
   if home < 1 || home > t.n then invalid_arg "Memory.cell: bad home";
+  let id = t.n_cells in
   let c =
-    { id = t.n_cells; name; home; value = init; readers = Array.make t.words 0 }
+    {
+      id;
+      name;
+      home;
+      zkey = Encode.mix Encode.fingerprint_seed id;
+      value = init;
+      dirty = true;
+      readers = Array.make t.words 0;
+    }
   in
-  t.cells <- c :: t.cells;
-  t.n_cells <- t.n_cells + 1;
+  let cap = Array.length t.cells in
+  if id = cap then begin
+    let bigger = Array.make (max 8 (2 * cap)) c in
+    Array.blit t.cells 0 bigger 0 cap;
+    t.cells <- bigger
+  end;
+  t.cells.(id) <- c;
+  t.n_cells <- id + 1;
+  push_dirty t id;
+  if t.fp_live then t.fp <- t.fp lxor Encode.mix c.zkey init;
   c
 
 let global t ~name init = cell t ~name ~home:1 init
@@ -85,27 +142,65 @@ let peek c = c.value
 let cell_count t = t.n_cells
 
 let snapshot t =
-  let a = Array.make t.n_cells 0 in
-  List.iter (fun c -> a.(c.id) <- c.value) t.cells;
-  a
+  if Array.length t.snap < t.n_cells then begin
+    let bigger = Array.make (max 8 (2 * t.n_cells)) 0 in
+    Array.blit t.snap 0 bigger 0 (Array.length t.snap);
+    t.snap <- bigger
+  end;
+  for k = 0 to t.n_dirty - 1 do
+    let i = t.dirty_ids.(k) in
+    let c = t.cells.(i) in
+    t.snap.(i) <- c.value;
+    c.dirty <- false
+  done;
+  t.n_dirty <- 0;
+  Array.sub t.snap 0 t.n_cells
 
-(* The fold visits [t.cells] newest-first; that order is a deterministic
-   function of allocation order, so equal fingerprints mean equal value
-   vectors (up to hash collisions). Reader sets are deliberately
-   excluded: they feed the CC RMR *accounting* only and can never change
-   control flow, so two states differing only in cache residency have
-   identical futures. *)
+(* Reader sets are deliberately excluded from the digest: they feed the
+   CC RMR *accounting* only and can never change control flow, so two
+   states differing only in cache residency have identical futures. *)
+let resync t =
+  let acc = ref 0 in
+  for i = 0 to t.n_cells - 1 do
+    let c = t.cells.(i) in
+    acc := !acc lxor Encode.mix c.zkey c.value
+  done;
+  t.fp <- !acc;
+  t.fp_live <- true
+
 let fingerprint t =
-  List.fold_left
-    (fun h c -> Encode.mix h c.value)
-    (Encode.mix Encode.fingerprint_seed t.n_cells)
-    t.cells
+  if not t.fp_live then resync t;
+  Encode.mix (Encode.mix Encode.fingerprint_seed t.n_cells) t.fp
+
+let fingerprint_slow t =
+  let acc = ref 0 in
+  for i = 0 to t.n_cells - 1 do
+    let c = t.cells.(i) in
+    acc := !acc lxor Encode.zobrist c.id c.value
+  done;
+  Encode.mix (Encode.mix Encode.fingerprint_seed t.n_cells) !acc
+
+(* Every value mutation funnels through here: xor the old Zobrist
+   contribution out of the running digest and the new one in (when
+   maintenance is live), and mark the cell for the next snapshot patch.
+   A same-value store is a no-op for both — the digest and the snapshot
+   depend on values only. *)
+let[@inline] set_value t c v =
+  if v <> c.value then begin
+    if t.fp_live then
+      t.fp <- t.fp lxor Encode.mix c.zkey c.value lxor Encode.mix c.zkey v;
+    c.value <- v;
+    if not c.dirty then begin
+      c.dirty <- true;
+      push_dirty t c.id
+    end
+  end
 
 let clear_readers c =
   Array.fill c.readers 0 (Array.length c.readers) 0
 
-let poke c v =
-  c.value <- v;
+let poke t c v =
+  set_value t c v;
   clear_readers c
 
 let op_name = function
@@ -159,47 +254,102 @@ let charge t ~pid ~(is_read : bool) c =
       true
     end
 
-let apply t ~pid op =
-  if pid < 1 || pid > t.n then invalid_arg "Memory.apply: bad pid";
-  let result, is_read =
-    match op with
-    | Read c -> (c.value, true)
-    | Write (c, v) ->
-      c.value <- v;
-      (v, false)
-    | Cas (c, expect, repl) ->
-      let old = c.value in
-      if old = expect then c.value <- repl;
-      (old, false)
-    | Fas (c, v) ->
-      let old = c.value in
-      c.value <- v;
-      (old, false)
-    | Faa (c, d) ->
-      let old = c.value in
-      c.value <- old + d;
-      (old, false)
-    | Fasas (c, v, dst) ->
-      let old = c.value in
-      c.value <- v;
-      dst.value <- old;
-      (old, false)
-  in
-  let rmr = charge t ~pid ~is_read (op_cell op) in
-  (* FASAS touches a second word: charge its store too. *)
-  let rmr =
-    match op with
-    | Fasas (_, _, dst) ->
-      let rmr2 = charge t ~pid ~is_read:false dst in
-      rmr || rmr2
-    | Read _ | Write _ | Cas _ | Fas _ | Faa _ -> rmr
-  in
+(* --- per-operation fast paths ---
+
+   One function per operation, returning the bare result: the runtime's
+   scheduling loop ignores the RMR flag (accounting happens here), so the
+   no-tracer path boxes neither an [op] nor a result tuple. Mutation and
+   charge order is load-bearing — it must match the historical [apply]
+   exactly (mutate, charge the primary cell, then for FASAS charge [dst])
+   or the golden trace's RMR flags would drift. *)
+
+let[@inline] account t ~pid ~rmr =
   t.step_count.(pid) <- t.step_count.(pid) + 1;
   if rmr then t.rmr_count.(pid) <- t.rmr_count.(pid) + 1;
+  t.last_rmr <- rmr
+
+let[@inline] check_pid t pid =
+  if pid < 1 || pid > t.n then invalid_arg "Memory.apply: bad pid"
+
+let exec_read t ~pid c =
+  check_pid t pid;
+  let v = c.value in
+  let rmr = charge t ~pid ~is_read:true c in
+  account t ~pid ~rmr;
   (match t.tracer with
-  | Some trace -> trace ~pid op ~result ~rmr
-  | None -> ());
-  (result, rmr)
+  | None -> ()
+  | Some trace -> trace ~pid (Read c) ~result:v ~rmr);
+  v
+
+let exec_write t ~pid c v =
+  check_pid t pid;
+  set_value t c v;
+  let rmr = charge t ~pid ~is_read:false c in
+  account t ~pid ~rmr;
+  (match t.tracer with
+  | None -> ()
+  | Some trace -> trace ~pid (Write (c, v)) ~result:v ~rmr);
+  v
+
+let exec_cas t ~pid c ~expect ~repl =
+  check_pid t pid;
+  let old = c.value in
+  if old = expect then set_value t c repl;
+  let rmr = charge t ~pid ~is_read:false c in
+  account t ~pid ~rmr;
+  (match t.tracer with
+  | None -> ()
+  | Some trace -> trace ~pid (Cas (c, expect, repl)) ~result:old ~rmr);
+  old
+
+let exec_fas t ~pid c v =
+  check_pid t pid;
+  let old = c.value in
+  set_value t c v;
+  let rmr = charge t ~pid ~is_read:false c in
+  account t ~pid ~rmr;
+  (match t.tracer with
+  | None -> ()
+  | Some trace -> trace ~pid (Fas (c, v)) ~result:old ~rmr);
+  old
+
+let exec_faa t ~pid c d =
+  check_pid t pid;
+  let old = c.value in
+  set_value t c (old + d);
+  let rmr = charge t ~pid ~is_read:false c in
+  account t ~pid ~rmr;
+  (match t.tracer with
+  | None -> ()
+  | Some trace -> trace ~pid (Faa (c, d)) ~result:old ~rmr);
+  old
+
+let exec_fasas t ~pid c v ~dst =
+  check_pid t pid;
+  let old = c.value in
+  set_value t c v;
+  set_value t dst old;
+  let rmr1 = charge t ~pid ~is_read:false c in
+  (* FASAS touches a second word: charge its store too. *)
+  let rmr2 = charge t ~pid ~is_read:false dst in
+  let rmr = rmr1 || rmr2 in
+  account t ~pid ~rmr;
+  (match t.tracer with
+  | None -> ()
+  | Some trace -> trace ~pid (Fasas (c, v, dst)) ~result:old ~rmr);
+  old
+
+let apply t ~pid op =
+  let result =
+    match op with
+    | Read c -> exec_read t ~pid c
+    | Write (c, v) -> exec_write t ~pid c v
+    | Cas (c, expect, repl) -> exec_cas t ~pid c ~expect ~repl
+    | Fas (c, v) -> exec_fas t ~pid c v
+    | Faa (c, d) -> exec_faa t ~pid c d
+    | Fasas (c, v, dst) -> exec_fasas t ~pid c v ~dst
+  in
+  (result, t.last_rmr)
 
 let rmrs t ~pid = t.rmr_count.(pid)
 let steps t ~pid = t.step_count.(pid)

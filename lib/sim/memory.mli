@@ -58,23 +58,39 @@ val cell_count : t -> int
 
 val snapshot : t -> int array
 (** [snapshot t] is the current value of every allocated cell, indexed by
-    {!id}. No step or RMR is charged (observer API, like {!peek}). *)
+    {!id}. Computed dirty-set style: a maintained copy of the previous
+    snapshot is patched with only the cells written since (DESIGN.md
+    §5.14), so the cost is O(dirty cells + copy-out) rather than a full
+    re-walk. No step or RMR is charged (observer API, like {!peek}). *)
 
 val fingerprint : t -> int
-(** A deterministic hash of the full value vector (every allocated cell,
-    in allocation order). Equal fingerprints mean equal {!snapshot}s up
-    to hash collisions. CC reader sets are excluded: cache residency
-    affects RMR accounting, never values or control flow. Observer API —
-    no step or RMR is charged. *)
+(** A deterministic hash of the full value vector: each cell contributes
+    {!Encode.zobrist}[ (id c) (peek c)], XOR-combined into a running
+    digest that every write updates in O(1) — so this call is a field
+    read, not a fold (DESIGN.md §5.14). Maintenance is enabled lazily by
+    the first call (an O(cells) resync); until then writes pay nothing,
+    which is what lets the model checker fast-forward replay prefixes
+    and run [--reduce none] digest-free. Equal fingerprints mean equal
+    {!snapshot}s up to hash collisions. CC reader sets are excluded:
+    cache residency affects RMR accounting, never values or control
+    flow. Observer API — no step or RMR is charged. *)
+
+val fingerprint_slow : t -> int
+(** From-scratch recomputation of {!fingerprint} over all live cells —
+    O(cells), and it neither reads nor enables the incremental digest.
+    The two must always agree; [test/test_fingerprint.ml] cross-checks
+    them after randomized op storms. *)
 
 val peek : cell -> int
 (** [peek c] reads a cell's value {e without} counting a step or an RMR.
     For monitors, property checkers and tests only — never for simulated
     algorithm code. *)
 
-val poke : cell -> int -> unit
-(** [poke c v] sets a cell's value without accounting, invalidating all
-    cached copies. For test setup only. *)
+val poke : t -> cell -> int -> unit
+(** [poke t c v] sets a cell's value without accounting, invalidating all
+    cached copies. Takes the owning memory so the incremental
+    {!fingerprint} digest and the {!snapshot} dirty set stay coherent.
+    For test setup only. *)
 
 (** One shared-memory operation. RMW operations return the old value. *)
 type op =
@@ -107,7 +123,32 @@ val apply : t -> pid:int -> op -> int * bool
 (** [apply t ~pid op] executes [op] on behalf of process [pid], updates the
     step and RMR counters, and returns [(result, was_rmr)]. A failed CAS
     still counts as a non-read access (it traverses the interconnect and
-    invalidates cached copies). *)
+    invalidates cached copies). Dispatches to the [exec_*] fast paths
+    below; use those directly on hot paths that do not need the RMR
+    flag. *)
+
+(** {2 Per-operation fast paths}
+
+    One entry point per operation, returning the bare result [int] — no
+    [op] box, no result tuple — with identical semantics, accounting and
+    tracing to routing the corresponding {!op} through {!apply} (the
+    tracer callback, when installed, still receives a freshly built
+    {!op}). These are the {!Runtime} scheduler's per-step interface;
+    the mutate-then-charge order is part of the pinned golden-trace
+    behaviour. *)
+
+val exec_read : t -> pid:int -> cell -> int
+
+val exec_write : t -> pid:int -> cell -> int -> int
+(** Returns the value written, as [apply (Write _)] does. *)
+
+val exec_cas : t -> pid:int -> cell -> expect:int -> repl:int -> int
+
+val exec_fas : t -> pid:int -> cell -> int -> int
+
+val exec_faa : t -> pid:int -> cell -> int -> int
+
+val exec_fasas : t -> pid:int -> cell -> int -> dst:cell -> int
 
 type tracer = pid:int -> op -> result:int -> rmr:bool -> unit
 

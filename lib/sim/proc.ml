@@ -1,23 +1,35 @@
 exception Crashed
 
+(* One effect constructor per operation, rather than one [Mem of
+   Memory.op] box: the runtime's handler receives the operands directly,
+   so the no-tracer hot path never materializes a [Memory.op] (one
+   allocation per step instead of two, before the continuation itself).
+   [Write] returns the written value — discarded by {!write} — so every
+   memory effect is an [int Effect.t] and all suspensions share one
+   continuation type. *)
 type _ Effect.t +=
-  | Mem : Memory.op -> int Effect.t
+  | Read : Memory.cell -> int Effect.t
+  | Write : Memory.cell * int -> int Effect.t
+  | Cas : Memory.cell * int * int -> int Effect.t
+  | Fas : Memory.cell * int -> int Effect.t
+  | Faa : Memory.cell * int -> int Effect.t
+  | Fasas : Memory.cell * int * Memory.cell -> int Effect.t
   | Await_one : Memory.cell * (int -> bool) -> int Effect.t
   | Await_two : Memory.cell * Memory.cell * (int -> int -> bool) -> (int * int) Effect.t
 
-let read c = Effect.perform (Mem (Memory.Read c))
+let read c = Effect.perform (Read c)
 
-let write c v = ignore (Effect.perform (Mem (Memory.Write (c, v))))
+let write c v = ignore (Effect.perform (Write (c, v)))
 
-let cas c ~expect ~repl = Effect.perform (Mem (Memory.Cas (c, expect, repl)))
+let cas c ~expect ~repl = Effect.perform (Cas (c, expect, repl))
 
 let cas_success c ~expect ~repl = cas c ~expect ~repl = expect
 
-let fas c v = Effect.perform (Mem (Memory.Fas (c, v)))
+let fas c v = Effect.perform (Fas (c, v))
 
-let faa c v = Effect.perform (Mem (Memory.Faa (c, v)))
+let faa c v = Effect.perform (Faa (c, v))
 
-let fasas c v ~save = Effect.perform (Mem (Memory.Fasas (c, v, save)))
+let fasas c v ~save = Effect.perform (Fasas (c, v, save))
 
 let await c ~until = Effect.perform (Await_one (c, until))
 

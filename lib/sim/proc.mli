@@ -11,8 +11,19 @@ exception Crashed
 (** Raised inside a fiber when a system-wide crash step destroys it.
     Algorithm code must never catch it. *)
 
+(** One effect constructor per operation (not a single boxed
+    [Memory.op]): the {!Runtime} handler destructures the operands
+    directly, so stepping allocates no [op] value unless a tracer is
+    installed. [Write] is an [int Effect.t] returning the stored value
+    (discarded by {!write}) so that every memory suspension resumes
+    with an [int]. Only the runtime should match on these. *)
 type _ Effect.t +=
-  | Mem : Memory.op -> int Effect.t
+  | Read : Memory.cell -> int Effect.t
+  | Write : Memory.cell * int -> int Effect.t
+  | Cas : Memory.cell * int * int -> int Effect.t
+  | Fas : Memory.cell * int -> int Effect.t
+  | Faa : Memory.cell * int -> int Effect.t
+  | Fasas : Memory.cell * int * Memory.cell -> int Effect.t
   | Await_one : Memory.cell * (int -> bool) -> int Effect.t
   | Await_two :
       Memory.cell * Memory.cell * (int -> int -> bool)

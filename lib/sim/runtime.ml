@@ -1,6 +1,18 @@
+(* One suspension constructor per {!Proc} effect: [advance] dispatches
+   straight to the matching {!Memory} fast path with the operands in
+   registers — no [Memory.op] is ever built on the no-tracer path. All
+   memory suspensions resume with [int] ([Write] included; the value is
+   discarded by [Proc.write]). *)
 type status =
   | Returned
-  | Sus_op of Memory.op * (int, status) Effect.Deep.continuation
+  | Sus_read of Memory.cell * (int, status) Effect.Deep.continuation
+  | Sus_write of Memory.cell * int * (int, status) Effect.Deep.continuation
+  | Sus_cas of
+      Memory.cell * int * int * (int, status) Effect.Deep.continuation
+  | Sus_fas of Memory.cell * int * (int, status) Effect.Deep.continuation
+  | Sus_faa of Memory.cell * int * (int, status) Effect.Deep.continuation
+  | Sus_fasas of
+      Memory.cell * int * Memory.cell * (int, status) Effect.Deep.continuation
   | Sus_await of
       Memory.cell * (int -> bool) * (int, status) Effect.Deep.continuation
   | Sus_await2 of
@@ -32,6 +44,18 @@ type t = {
      leave the signature unchanged. Plain bookkeeping: no B.* operation,
      no effect on schedules, RMR accounting or the golden trace. *)
   local_sig : int array; (* 1-based; index 0 unused *)
+  (* Incremental control-state digest: xor over processes of
+     [Encode.mix (Encode.mix zp.(pid) slot_tag) local_sig.(pid)], with
+     [zp.(pid)] the process's precomputed Zobrist key. [step] brackets
+     each step with an xor-out/xor-in of the stepped process's
+     contribution; a system-wide crash resets every contribution at
+     once to the precomputed [fresh_fp]. Like {!Memory.fingerprint},
+     maintenance starts lazily at the first [fingerprint] call
+     (DESIGN.md §5.14). *)
+  zp : int array;
+  fresh_fp : int;
+  mutable fp : int;
+  mutable fp_live : bool;
 }
 
 let handler : (unit, status) Effect.Deep.handler =
@@ -45,9 +69,24 @@ let handler : (unit, status) Effect.Deep.handler =
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
-        | Proc.Mem op ->
+        | Proc.Read c ->
           Some
-            (fun (k : (a, status) Effect.Deep.continuation) -> Sus_op (op, k))
+            (fun (k : (a, status) Effect.Deep.continuation) -> Sus_read (c, k))
+        | Proc.Write (c, v) ->
+          Some (fun (k : (a, status) Effect.Deep.continuation) ->
+              Sus_write (c, v, k))
+        | Proc.Cas (c, expect, repl) ->
+          Some (fun (k : (a, status) Effect.Deep.continuation) ->
+              Sus_cas (c, expect, repl, k))
+        | Proc.Fas (c, v) ->
+          Some (fun (k : (a, status) Effect.Deep.continuation) ->
+              Sus_fas (c, v, k))
+        | Proc.Faa (c, d) ->
+          Some (fun (k : (a, status) Effect.Deep.continuation) ->
+              Sus_faa (c, d, k))
+        | Proc.Fasas (c, v, dst) ->
+          Some (fun (k : (a, status) Effect.Deep.continuation) ->
+              Sus_fasas (c, v, dst, k))
         | Proc.Await_one (c, pred) ->
           Some (fun (k : (a, status) Effect.Deep.continuation) ->
               Sus_await (c, pred, k))
@@ -58,16 +97,34 @@ let handler : (unit, status) Effect.Deep.handler =
   }
 
 let create ?(initial_epoch = 1) mem ~body =
+  let n = Memory.n mem in
+  (* Process Zobrist keys use negative slot numbers ([lnot pid]) so they
+     can never coincide with Memory's cell keys (ids >= 0) — hygiene,
+     not a correctness requirement: the two digests are mixed separately
+     by the model checker. *)
+  let zp =
+    Array.init (n + 1) (fun pid ->
+        if pid = 0 then 0 else Encode.mix Encode.fingerprint_seed (lnot pid))
+  in
+  let fresh_fp = ref 0 in
+  for pid = 1 to n do
+    (* tag 1 = Fresh, signature 0: the post-crash contribution. *)
+    fresh_fp := !fresh_fp lxor Encode.mix (Encode.mix zp.(pid) 1) 0
+  done;
   {
     mem;
-    n = Memory.n mem;
+    n;
     body;
-    slots = Array.make (Memory.n mem + 1) Fresh;
+    slots = Array.make (n + 1) Fresh;
     epoch = initial_epoch;
     clock = 0;
     crashes = 0;
     crash_hooks = [];
-    local_sig = Array.make (Memory.n mem + 1) 0;
+    local_sig = Array.make (n + 1) 0;
+    zp;
+    fresh_fp = !fresh_fp;
+    fp = 0;
+    fp_live = false;
   }
 
 let memory t = t.mem
@@ -91,22 +148,26 @@ let blocked t pid =
   | Fresh | Finished -> false
   | Waiting st -> (
     match st with
-    | Returned | Sus_op _ -> false
     | Sus_await (c, pred, _) -> not (pred (Memory.peek c))
     | Sus_await2 (c1, c2, pred, _) ->
-      not (pred (Memory.peek c1) (Memory.peek c2)))
+      not (pred (Memory.peek c1) (Memory.peek c2))
+    | Returned | Sus_read _ | Sus_write _ | Sus_cas _ | Sus_fas _ | Sus_faa _
+    | Sus_fasas _ ->
+      false)
 
 let blocked_on t pid =
   match t.slots.(pid) with
   | Fresh | Finished -> None
   | Waiting st -> (
     match st with
-    | Returned | Sus_op _ -> None
     | Sus_await (c, pred, _) ->
       if pred (Memory.peek c) then None else Some (Memory.name c)
     | Sus_await2 (c1, c2, pred, _) ->
       if pred (Memory.peek c1) (Memory.peek c2) then None
-      else Some (Memory.name c1 ^ "+" ^ Memory.name c2))
+      else Some (Memory.name c1 ^ "+" ^ Memory.name c2)
+    | Returned | Sus_read _ | Sus_write _ | Sus_cas _ | Sus_fas _ | Sus_faa _
+    | Sus_fasas _ ->
+      None)
 
 let enabled t =
   let rec collect pid acc =
@@ -128,20 +189,40 @@ let advance t ~pid st =
   let consume v = t.local_sig.(pid) <- Encode.mix t.local_sig.(pid) v in
   match st with
   | Returned -> Returned
-  | Sus_op (op, k) ->
-    let v, _rmr = Memory.apply t.mem ~pid op in
+  | Sus_read (c, k) ->
+    let v = Memory.exec_read t.mem ~pid c in
+    consume v;
+    Effect.Deep.continue k v
+  | Sus_write (c, v, k) ->
+    let v = Memory.exec_write t.mem ~pid c v in
+    consume v;
+    Effect.Deep.continue k v
+  | Sus_cas (c, expect, repl, k) ->
+    let v = Memory.exec_cas t.mem ~pid c ~expect ~repl in
+    consume v;
+    Effect.Deep.continue k v
+  | Sus_fas (c, v, k) ->
+    let v = Memory.exec_fas t.mem ~pid c v in
+    consume v;
+    Effect.Deep.continue k v
+  | Sus_faa (c, d, k) ->
+    let v = Memory.exec_faa t.mem ~pid c d in
+    consume v;
+    Effect.Deep.continue k v
+  | Sus_fasas (c, v, dst, k) ->
+    let v = Memory.exec_fasas t.mem ~pid c v ~dst in
     consume v;
     Effect.Deep.continue k v
   | Sus_await (c, pred, k) ->
-    let v, _rmr = Memory.apply t.mem ~pid (Memory.Read c) in
+    let v = Memory.exec_read t.mem ~pid c in
     if pred v then begin
       consume v;
       Effect.Deep.continue k v
     end
     else st
   | Sus_await2 (c1, c2, pred, k) ->
-    let v1, _ = Memory.apply t.mem ~pid (Memory.Read c1) in
-    let v2, _ = Memory.apply t.mem ~pid (Memory.Read c2) in
+    let v1 = Memory.exec_read t.mem ~pid c1 in
+    let v2 = Memory.exec_read t.mem ~pid c2 in
     if pred v1 v2 then begin
       consume v1;
       consume v2;
@@ -153,38 +234,58 @@ let settle t pid = function
   | Returned -> t.slots.(pid) <- Finished
   | st -> t.slots.(pid) <- Waiting st
 
+let slot_tag = function Fresh -> 1 | Waiting _ -> 2 | Finished -> 3
+
+let[@inline] contribution t pid =
+  Encode.mix
+    (Encode.mix t.zp.(pid) (slot_tag t.slots.(pid)))
+    t.local_sig.(pid)
+
 let step t pid =
   t.clock <- t.clock + 1;
   match t.slots.(pid) with
   | Finished -> invalid_arg "Runtime.step: process is not runnable"
-  | Fresh -> (
-    match start t pid with
-    | Returned -> t.slots.(pid) <- Finished
-    | st -> settle t pid (advance t ~pid st))
-  | Waiting st -> settle t pid (advance t ~pid st)
+  | (Fresh | Waiting _) as slot ->
+    if t.fp_live then t.fp <- t.fp lxor contribution t pid;
+    (match slot with
+    | Fresh -> (
+      match start t pid with
+      | Returned -> t.slots.(pid) <- Finished
+      | st -> settle t pid (advance t ~pid st))
+    | Waiting st -> settle t pid (advance t ~pid st)
+    | Finished -> assert false);
+    if t.fp_live then t.fp <- t.fp lxor contribution t pid
 
 let discontinue_status st =
   let kill : type a. (a, status) Effect.Deep.continuation -> unit =
    fun k ->
     match Effect.Deep.discontinue k Proc.Crashed with
     | Returned -> ()
-    | Sus_op _ | Sus_await _ | Sus_await2 _ ->
+    | Sus_read _ | Sus_write _ | Sus_cas _ | Sus_fas _ | Sus_faa _
+    | Sus_fasas _ | Sus_await _ | Sus_await2 _ ->
       failwith "Runtime.crash: a fiber caught the Crashed exception"
   in
   match st with
   | Returned -> ()
-  | Sus_op (_, k) -> kill k
+  | Sus_read (_, k) -> kill k
+  | Sus_write (_, _, k) -> kill k
+  | Sus_cas (_, _, _, k) -> kill k
+  | Sus_fas (_, _, k) -> kill k
+  | Sus_faa (_, _, k) -> kill k
+  | Sus_fasas (_, _, _, k) -> kill k
   | Sus_await (_, _, k) -> kill k
   | Sus_await2 (_, _, _, k) -> kill k
 
 let crash_one t pid =
   if pid < 1 || pid > t.n then invalid_arg "Runtime.crash_one: bad pid";
   t.clock <- t.clock + 1;
+  if t.fp_live then t.fp <- t.fp lxor contribution t pid;
   (match t.slots.(pid) with
   | Waiting st -> discontinue_status st
   | Fresh | Finished -> ());
   t.slots.(pid) <- Fresh;
-  t.local_sig.(pid) <- 0
+  t.local_sig.(pid) <- 0;
+  if t.fp_live then t.fp <- t.fp lxor contribution t pid
 
 let crash t ?(bump = 1) () =
   if bump < 1 then invalid_arg "Runtime.crash: bump must be >= 1";
@@ -197,6 +298,9 @@ let crash t ?(bump = 1) () =
     t.slots.(pid) <- Fresh;
     t.local_sig.(pid) <- 0
   done;
+  (* All contributions collapse to the precomputed all-Fresh digest; the
+     epoch is mixed at [fingerprint] read time, not here. *)
+  if t.fp_live then t.fp <- t.fresh_fp;
   t.epoch <- t.epoch + bump;
   List.iter (fun hook -> hook ~epoch:t.epoch) t.crash_hooks
 
@@ -204,17 +308,32 @@ let on_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
 
 (* --- state identity (for the model checker's visited set) --- *)
 
-let fingerprint t =
-  let h = Encode.mix Encode.fingerprint_seed t.epoch in
-  let h = ref h in
+let resync t =
+  let acc = ref 0 in
   for pid = 1 to t.n do
-    let tag =
-      match t.slots.(pid) with Fresh -> 1 | Waiting _ -> 2 | Finished -> 3
-    in
-    h := Encode.mix !h tag;
-    h := Encode.mix !h t.local_sig.(pid)
+    acc := !acc lxor contribution t pid
   done;
-  !h
+  t.fp <- !acc;
+  t.fp_live <- true
+
+let fingerprint t =
+  if not t.fp_live then resync t;
+  Encode.mix (Encode.mix Encode.fingerprint_seed t.epoch) t.fp
+
+(* Recomputes the per-process contributions from scratch, spelled out
+   via [Encode.zobrist] rather than the cached [zp] keys — the
+   cross-check target for the incremental digest:
+   [mix (zobrist (lnot pid) tag) sig = mix (mix zp.(pid) tag) sig]. *)
+let fingerprint_slow t =
+  let acc = ref 0 in
+  for pid = 1 to t.n do
+    acc :=
+      !acc
+      lxor Encode.mix
+             (Encode.zobrist (lnot pid) (slot_tag t.slots.(pid)))
+             t.local_sig.(pid)
+  done;
+  Encode.mix (Encode.mix Encode.fingerprint_seed t.epoch) !acc
 
 let step_footprint t pid =
   if pid < 1 || pid > t.n then invalid_arg "Runtime.step_footprint: bad pid";
@@ -228,7 +347,11 @@ let step_footprint t pid =
   | Waiting st -> (
     match st with
     | Returned -> Some []
-    | Sus_op (op, _) -> Some (Memory.footprint op)
-    | Sus_await (c, _, _) -> Some [ (Memory.id c, false) ]
+    | Sus_read (c, _) | Sus_await (c, _, _) -> Some [ (Memory.id c, false) ]
+    | Sus_write (c, _, _) | Sus_cas (c, _, _, _) | Sus_fas (c, _, _)
+    | Sus_faa (c, _, _) ->
+      Some [ (Memory.id c, true) ]
+    | Sus_fasas (c, _, dst, _) ->
+      Some [ (Memory.id c, true); (Memory.id dst, true) ]
     | Sus_await2 (c1, c2, _, _) ->
       Some [ (Memory.id c1, false); (Memory.id c2, false) ])

@@ -95,8 +95,20 @@ val fingerprint : t -> int
     identify states with identical futures (up to hash collisions).
     Effects continuations themselves are opaque; the consumed-value
     signature is the canonical encoding that replaces them. Crash steps
-    reset the signatures along with the fibers. Observer API: computing
-    it takes no step and charges no RMR. *)
+    reset the signatures along with the fibers.
+
+    Maintained incrementally: each process contributes
+    {!Encode.zobrist}-style into an XOR digest that {!step},
+    {!crash_one} and {!crash} update in O(1), so this call is a field
+    read. Like {!Memory.fingerprint}, maintenance is enabled lazily by
+    the first call (an O(n) resync) — runs that never fingerprint pay
+    nothing (DESIGN.md §5.14). Observer API: computing it takes no step
+    and charges no RMR. *)
+
+val fingerprint_slow : t -> int
+(** From-scratch O(n) recomputation of {!fingerprint}; neither reads nor
+    enables the incremental digest. Always equal to {!fingerprint} —
+    cross-checked by [test/test_fingerprint.ml]. *)
 
 val step_footprint : t -> int -> (int * bool) list option
 (** The shared-memory accesses [(cell id, may_write)] that [step t pid]
