@@ -1,7 +1,7 @@
 # Tier-1 verification plus the parallel-engine smoke test. `make ci` is
 # what .github/workflows/ci.yml runs; keep the two in sync.
 
-.PHONY: all build test differential bench-smoke e10-smoke trace-sample validate baselines deep-check ci clean
+.PHONY: all build test differential bench-smoke e10-smoke e13-smoke e14-smoke trace-sample validate baselines deep-check ci clean
 
 all: build
 
@@ -34,11 +34,17 @@ bench-smoke: build
 	dune exec bench/main.exe -- e1 e9 e12 e13 --jobs 2
 	dune exec bench/validate.exe -- --baseline bench/baselines \
 	  BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json
+	$(MAKE) e14-smoke
 
 # Refresh the committed expectations after a deliberate behaviour change.
+# E14's captured cells are deterministic by design (the machine numbers
+# live in its metrics and in-code gates), so the quick run regenerates
+# the same table a full run would.
 baselines: build
 	dune exec bench/main.exe -- e1 e9 e12 e13 --jobs 2
-	cp BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json bench/baselines/
+	dune exec bench/main.exe -- e14 --quick
+	cp BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json \
+	  BENCH_E14.json bench/baselines/
 
 # The nightly deep model-check: the E9/E12 roster's algorithm stacks at
 # larger bounds than CI's smoke run can afford, made tractable by
@@ -65,6 +71,9 @@ deep-check: build
 	  --model dsm -d 3 --reduce por --out deep-check/barrier-sub-n3-d3.json
 	dune exec bench/main.exe -- e13
 	cp BENCH_E13.json deep-check/
+	dune exec bench/main.exe -- e14
+	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E14.json
+	cp BENCH_E14.json deep-check/
 
 # Standalone schema check over whatever BENCH_E*.json are lying around.
 validate: build
@@ -83,6 +92,16 @@ e10-smoke: build
 e13-smoke: build
 	dune exec bench/main.exe -- e13 --quick
 	dune exec bench/validate.exe -- BENCH_E13.json
+
+# E14 at reduced windows: the full native-substrate ablation sweep with
+# its in-code gates (contended padded+backoff speedup, single-worker
+# parity, steady-state allocation audit — any gate failing exits
+# non-zero before the JSON is written), then the schema + baseline diff.
+# The captured table carries only deterministic cells, so quick and full
+# runs gate against the same committed expectation.
+e14-smoke: build
+	dune exec bench/main.exe -- e14 --quick
+	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E14.json
 
 # A small Perfetto-loadable trace of T1(MCS) under a crash storm — CI
 # uploads it as an artifact so a run's behaviour can be eyeballed.

@@ -4,9 +4,12 @@
      validate.exe [FILE ...]
      validate.exe --baseline DIR [--tolerance F] [FILE ...]
 
-   Without [--baseline] it parses each file and checks it against the
-   "rme-bench/1" shape (Report.validate_bench); with no FILE arguments it
-   globs BENCH_E*.json in the current directory.
+   Without [--baseline] it parses each file and checks it against its
+   declared schema — "rme-bench/1" (Report.validate_bench) or
+   "rme-native-metrics/1" (Rme_native.Workers.validate_metrics), the
+   files [native --metrics] / [run --metrics] write; dispatch is on the
+   document's "schema" member. With no FILE arguments it globs
+   BENCH_E*.json in the current directory.
 
    With [--baseline DIR] it additionally compares each (valid) fresh file
    against DIR/<basename> — the committed expectation, see
@@ -43,6 +46,15 @@ let read_file file =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Which validator a document wants, by its "schema" member. Bench
+   tables are the default (and the only kind the baseline gate knows how
+   to diff); native metrics files are shape-checked and left at that —
+   every number in them is machine-dependent. *)
+let kind_of doc =
+  match Sim.Json.member "schema" doc with
+  | Some (Sim.Json.Str "rme-native-metrics/1") -> `Native
+  | _ -> `Bench
+
 let parse_doc file =
   match Sim.Json.parse (read_file file) with
   | exception Sys_error e ->
@@ -52,7 +64,12 @@ let parse_doc file =
     Printf.printf "%s: FAIL (not valid JSON: %s)\n" file e;
     None
   | doc -> (
-    match Harness.Report.validate_bench doc with
+    let validate =
+      match kind_of doc with
+      | `Native -> Rme_native.Workers.validate_metrics
+      | `Bench -> Harness.Report.validate_bench
+    in
+    match validate doc with
     | Ok () -> Some doc
     | Error e ->
       Printf.printf "%s: FAIL (%s)\n" file e;
@@ -194,6 +211,10 @@ let () =
   let check file =
     match parse_doc file with
     | None -> false
+    | Some doc when kind_of doc = `Native ->
+      (* Native metrics carry no machine-independent cells to gate. *)
+      Printf.printf "%s: ok (rme-native-metrics/1, schema only)\n" file;
+      true
     | Some doc -> (
       match !baseline with
       | None ->

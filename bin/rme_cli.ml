@@ -435,8 +435,64 @@ let native_cmd =
              every $(docv) milliseconds (a passages/s time series across \
              crash storms, included in --metrics output).")
   in
+  let pin =
+    Arg.(
+      value & flag
+      & info [ "pin" ]
+          ~doc:
+            "Pin worker domains to cores (worker $(i,p) to core (p-1) mod \
+             cores; Linux affinity, best-effort no-op elsewhere). The \
+             report says how many workers actually landed.")
+  in
+  let spin =
+    let policy =
+      Arg.enum
+        [
+          ("backoff", Rme_native.Backoff.Exponential);
+          ("relax", Rme_native.Backoff.Relax);
+          ("spin", Rme_native.Backoff.Spin);
+        ]
+    in
+    Arg.(
+      value
+      & opt policy Rme_native.Backoff.Exponential
+      & info [ "spin" ] ~docv:"POLICY"
+          ~doc:
+            "Spin-wait policy between lock re-checks: $(b,backoff) (seeded \
+             capped exponential, the default), $(b,relax) (one cpu_relax \
+             per miss plus a periodic OS yield — the pre-backoff \
+             behaviour), or $(b,spin) (pure cpu_relax; E14's bare \
+             ablation).")
+  in
+  let no_padding =
+    Arg.(
+      value & flag
+      & info [ "no-padding" ]
+          ~doc:
+            "Allocate backend cells back-to-back instead of one per cache \
+             line (the false-sharing ablation of E14).")
+  in
+  let sync_start =
+    Arg.(
+      value & flag
+      & info [ "sync-start" ]
+          ~doc:
+            "Hold every worker at a barrier until the last domain is up, \
+             so short runs measure contention instead of spawn skew.")
+  in
+  let run_for =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "run-for" ] ~docv:"SECONDS"
+          ~doc:
+            "Stop starting new passages after $(docv) seconds, whatever \
+             --passages remains: a fixed window much longer than an OS \
+             timeslice measures the contended steady state instead of \
+             the luck of spawn order.")
+  in
   let run stack model n passages seed crash_interval jobs replicas
-      sample_interval metrics =
+      sample_interval pin spin no_padding sync_start run_for metrics =
     if not (List.mem stack Rme_native.Stack.recoverable_names) then begin
       Printf.eprintf "unknown native stack %S; available: %s\n" stack
         (String.concat ", " Rme_native.Stack.recoverable_names);
@@ -448,9 +504,12 @@ let native_cmd =
           ?crash_interval:(Option.map (fun ms -> ms /. 1000.) crash_interval)
           ?sample_interval:
             (Option.map (fun ms -> ms /. 1000.) sample_interval)
+          ~spin ~pin ~sync_start ?run_for
+          ~latency:(Option.is_some metrics)
           ~seed ~n ~passages
           ~make:(fun crash ~n ->
-            Rme_native.Stack.recoverable ~model crash ~n stack)
+            Rme_native.Stack.recoverable ~model ~padded:(not no_padding)
+              crash ~n stack)
           ()
       in
       let save r =
@@ -494,7 +553,8 @@ let native_cmd =
           distributed-barrier machinery of Fig. 2.")
     Term.(
       const run $ stack_arg $ model_arg $ n_arg $ passages_arg $ seed_arg
-      $ crash_interval $ jobs_arg $ replicas $ sample_interval $ metrics_arg)
+      $ crash_interval $ jobs_arg $ replicas $ sample_interval $ pin $ spin
+      $ no_padding $ sync_start $ run_for $ metrics_arg)
 
 let () =
   let doc =

@@ -8,14 +8,14 @@ type captured = { title : string; header : string list; rows : string list list 
    experiment. Only the main domain prints tables and records metrics
    (cells are computed on the pool, rendering is not), so no locking is
    needed. *)
-let capture : captured list ref = ref []
+let captured_tables : captured list ref = ref []
 let metric_capture : (string * Sim.Json.t) list ref = ref []
 
 let reset_captured () =
-  capture := [];
+  captured_tables := [];
   metric_capture := []
 
-let captured () = List.rev !capture
+let captured () = List.rev !captured_tables
 
 let metric ~name json = metric_capture := (name, json) :: !metric_capture
 let captured_metrics () = List.rev !metric_capture
@@ -58,12 +58,42 @@ let render ~header rows =
   in
   render_row header :: rule :: List.map render_row rows
 
-let table ~title ~header rows =
-  capture := { title; header; rows } :: !capture;
+(* [~capture:false] prints a table without recording it in the bench
+   JSON: for machine-dependent columns (absolute throughputs, ratios)
+   that belong in the run log but must not enter the baseline gate —
+   the gate compares captured tables cell by cell, and a cell that
+   varies across machines would make the committed baseline unusable.
+   Such numbers go to [metric] instead, which is never compared. *)
+let table ?(capture = true) ~title ~header rows =
+  if capture then captured_tables := { title; header; rows } :: !captured_tables;
   print_newline ();
   Printf.printf "### %s\n\n" title;
   List.iter print_endline (render ~header rows);
   print_newline ()
+
+(* Side-by-side ablation rendering: one row per configuration, a value
+   column per variant, and a trailing base-vs-variant ratio column. The
+   numbers are machine-dependent by nature, so the table defaults to
+   [~capture:false] — callers gate on the ratios in code and put the
+   exact values in [metric]s. *)
+let ablation_table ?(capture = false) ~title ~label_header ~base_header
+    ~variant_header ~fmt rows =
+  let header =
+    [ label_header; base_header; variant_header; "ratio (variant/base)" ]
+  in
+  let rows =
+    List.map
+      (fun (label, base, variant) ->
+        [
+          label;
+          fmt base;
+          fmt variant;
+          (if base > 0. then Printf.sprintf "%.2fx" (variant /. base)
+           else "n/a");
+        ])
+      rows
+  in
+  table ~capture ~title ~header rows
 
 (* --- the bench JSON schema --- *)
 

@@ -7,9 +7,26 @@
 
 type captured = { title : string; header : string list; rows : string list list }
 
-val table : title:string -> header:string list -> string list list -> unit
+val table :
+  ?capture:bool -> title:string -> header:string list -> string list list -> unit
 (** Print a titled, column-aligned table to stdout (and record it for
-    {!captured}). *)
+    {!captured}). [~capture:false] prints without recording — for
+    machine-dependent columns (absolute throughputs, ratios) that belong
+    in the run log but must stay out of the baseline-gated JSON; gate on
+    such numbers in code and record them via {!metric} instead. *)
+
+val ablation_table :
+  ?capture:bool ->
+  title:string ->
+  label_header:string ->
+  base_header:string ->
+  variant_header:string ->
+  fmt:(float -> string) ->
+  (string * float * float) list ->
+  unit
+(** Side-by-side ablation: one row per [(label, base, variant)] with a
+    trailing variant/base ratio column. Defaults to [~capture:false]
+    (the cells are machine-dependent by nature; see {!table}). *)
 
 val render : header:string list -> string list list -> string list
 (** The rendered lines of a table (header, rule, rows) without printing —

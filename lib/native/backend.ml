@@ -1,9 +1,9 @@
 (** The native instantiation of {!Sim.Backend_intf.S}: cells are OCaml 5
     [Atomic]s (CAS through the old-value-returning {!Natomic.cas}, per the
-    paper's convention), and [await] polls the stop-the-world crash flag
-    via {!Crash.spin_until} — a waiter whose grantor crashed unwinds with
-    {!Crash.Crashed} instead of hanging, which is what makes the failure
-    system-wide on real domains.
+    paper's convention), and [await] polls the stop-the-world crash flag —
+    a waiter whose grantor crashed unwinds with {!Crash.Crashed} instead
+    of hanging, which is what makes the failure system-wide on real
+    domains.
 
     Cell names and DSM homes are accepted and ignored: RMR accounting is a
     model-level notion the simulator implements; natively the hardware
@@ -11,13 +11,31 @@
     runs (Fig. 2's Barrier): [Cc] — the default, the natural global spin
     on cache-coherent hardware — or [Dsm], the full distributed
     secondary-leader machinery, worth running natively as a differential
-    test of the paper's most intricate code against real interleavings. *)
+    test of the paper's most intricate code against real interleavings.
 
-type mem = { crash : Crash.t; n : int; model : Sim.Memory.model }
+    Hardware-awareness (DESIGN.md §5.15): cells are cache-line padded by
+    default ({!Natomic.make_padded}; [~padded:false] restores bare
+    [Atomic.make] for E14's false-sharing ablation), and [await] spins
+    through the crash handle's seeded exponential backoff without
+    allocating — no per-call closure or ref, so the passage path stays
+    GC-silent under contention. *)
+
+type mem = {
+  crash : Crash.t;
+  n : int;
+  model : Sim.Memory.model;
+  padded : bool;
+  (* Keep-alive anchors for the portable padding scheme: each padded cell
+     may return a spacer block that must stay reachable exactly as long
+     as the cell does. Cells are allocated single-threadedly at lock
+     construction, so a plain mutable list is fine. *)
+  mutable spacers : Obj.t list;
+}
 
 type cell = int Atomic.t
 
-let create ?(model = Sim.Memory.Cc) crash ~n = { crash; n; model }
+let create ?(model = Sim.Memory.Cc) ?(padded = true) crash ~n =
+  { crash; n; model; padded; spacers = [] }
 
 let crash_of m = m.crash
 
@@ -25,9 +43,21 @@ let n m = m.n
 
 let model m = m.model
 
-let cell _m ~name:_ ~home:_ init = Atomic.make init
+let padded m = m.padded
 
-let global _m ~name:_ init = Atomic.make init
+let alloc m init =
+  if m.padded then begin
+    let a, spacer = Natomic.make_padded init in
+    (match spacer with
+    | Some s -> m.spacers <- s :: m.spacers
+    | None -> ());
+    a
+  end
+  else Atomic.make init
+
+let cell m ~name:_ ~home:_ init = alloc m init
+
+let global m ~name:_ init = alloc m init
 
 let read = Atomic.get
 
@@ -41,9 +71,26 @@ let fas = Natomic.fas
 
 let faa = Natomic.faa
 
+(* Busy-wait allocation-free: the old implementation built a fresh [ref]
+   plus closure per call — hot-path garbage under contention. The crash
+   flag is checked before every read so a system-wide failure unwinds the
+   waiter; between misses the domain's cached [Backoff] paces the spin. *)
+let rec await_spin crash b c ~until =
+  Crash.check crash;
+  let v = Atomic.get c in
+  if until v then v
+  else begin
+    Backoff.once b;
+    await_spin crash b c ~until
+  end
+
 let await m c ~until =
-  let last = ref (Atomic.get c) in
-  Crash.spin_until m.crash (fun () ->
-      last := Atomic.get c;
-      until !last);
-  !last
+  Crash.check m.crash;
+  let v = Atomic.get c in
+  if until v then v
+  else begin
+    let b = Crash.backoff m.crash in
+    Backoff.reset b;
+    Backoff.once b;
+    await_spin m.crash b c ~until
+  end

@@ -18,8 +18,12 @@ exception Crashed
 
 type t
 
-val create : n:int -> t
-(** [create ~n] prepares the protocol for [n] workers (IDs 1..n). *)
+val create : ?spin:Backoff.mode -> ?spin_seed:int -> n:int -> unit -> t
+(** [create ~n ()] prepares the protocol for [n] workers (IDs 1..n).
+    [spin] picks the waiting policy every spin through this handle uses
+    (default {!Backoff.Exponential}; [Relax] and [Spin] are E14's
+    ablation references), and [spin_seed] seeds the per-domain backoff
+    streams so spin plans replay for a fixed seed. *)
 
 val epoch : t -> int
 
@@ -29,9 +33,16 @@ val check : t -> unit
 
 val spin_until : t -> (unit -> bool) -> unit
 (** Busy-wait until the condition holds, polling the crash flag on every
-    iteration (with [Domain.cpu_relax]); raises {!Crashed} if a crash is
-    declared while waiting — without this, a waiter whose grantor crashed
-    would hang forever. *)
+    iteration; raises {!Crashed} if a crash is declared while waiting —
+    without this, a waiter whose grantor crashed would hang forever.
+    Between re-checks the domain's cached {!Backoff} paces the wait
+    under the handle's [spin] policy; the hot path allocates nothing. *)
+
+val backoff : t -> Backoff.t
+(** This domain's backoff state for this handle (cached in domain-local
+    storage, configured from the handle's [spin]/[spin_seed]). Exposed
+    for {!Backend.await}'s allocation-free spin; reusing it elsewhere in
+    the same domain is safe — spins are never nested. *)
 
 val worker_run : t -> pid:int -> (epoch:int -> unit) -> unit
 (** [worker_run t ~pid body] runs [body ~epoch] repeatedly: on {!Crashed}

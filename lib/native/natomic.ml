@@ -1,3 +1,7 @@
+(* RMW primitives over OCaml 5 [Atomic] in the paper's old-value-returning
+   convention, plus the cache-line-padded allocator the backend uses to
+   keep one cell per line. *)
+
 let rec cas a ~expect ~repl =
   let cur = Atomic.get a in
   if cur = expect then
@@ -9,3 +13,19 @@ let cas_success a ~expect ~repl = Atomic.compare_and_set a expect repl
 let fas a v = Atomic.exchange a v
 
 let faa a d = Atomic.fetch_and_add a d
+
+(* Allocate an atomic padded onto its own cache line. Bare [Atomic.make]
+   blocks are two words (16 B on 64-bit): a lock's cells allocated
+   back-to-back share 64 B lines, and every CAS/FAA then invalidates its
+   neighbours' lines too — classic false sharing, measured by E14's
+   ablation. The snd of the pair is a keep-alive spacer the caller must
+   retain for the cell's lifetime (None when the runtime pads for us);
+   [Backend.mem] stores it. The implementation is version-switched by a
+   dune rule: [Atomic.make_contended] on OCaml >= 5.2, best-effort
+   allocation-order spacing below (see padding_contended.ml /
+   padding_portable.ml). *)
+let make_padded : int -> int Atomic.t * Obj.t option = Padding.make
+
+(* Whether the padding is runtime-guaranteed (5.2's make_contended) or
+   the best-effort allocation-order scheme. *)
+let padding_guaranteed = Padding.guaranteed

@@ -1,0 +1,9 @@
+(* Padded-cell allocator, OCaml >= 5.2 flavour (selected by a dune rule
+   on %{ocaml_version}; see padding_portable.ml for the other half and
+   DESIGN.md §5.15 for the scheme). [Atomic.make_contended] places the
+   atomic alone on its cache line(s) with runtime-guaranteed padding, so
+   no keep-alive spacer is needed. *)
+
+let make init : int Atomic.t * Obj.t option = (Atomic.make_contended init, None)
+
+let guaranteed = true

@@ -1,0 +1,24 @@
+(* Padded-cell allocator, OCaml < 5.2 flavour (selected by a dune rule
+   on %{ocaml_version}; see padding_contended.ml for the other half and
+   DESIGN.md §5.15 for the scheme).
+
+   Before [Atomic.make_contended] existed there was no guaranteed way to
+   pad a heap block, so this is best-effort: consecutive minor-heap
+   allocations are adjacent, and a lock's cells are allocated in one
+   burst at construction time, so interleaving a dead 15-word spacer
+   block between cells keeps any two cells at least a cache line apart
+   in their initial layout. The spacer must stay reachable for exactly
+   as long as the cell (a compacting GC would otherwise slide the cells
+   back together), which is why it is returned to the caller —
+   [Backend.mem] retains it. After promotion to the major heap the
+   spacing is preserved by the same argument (blocks are copied in
+   order), but it is not a runtime guarantee; the 5.2 flavour is. *)
+
+let spacer_words = 15 (* + header = 128 B on 64-bit: a line on each side *)
+
+let make init : int Atomic.t * Obj.t option =
+  let spacer = Obj.repr (Array.make spacer_words 0) in
+  let a = Atomic.make init in
+  (a, Some spacer)
+
+let guaranteed = false

@@ -1,0 +1,19 @@
+(** Best-effort domain-to-core pinning (C stub in rme_stubs.c).
+
+    On Linux this sets the calling thread's affinity mask to a single
+    core via [pthread_setaffinity_np]; elsewhere it is a no-op that
+    returns [false]. Pinning is strictly opt-in (the [--pin] flag /
+    [Workers.run ?pin]) because on a machine with fewer cores than
+    workers it turns oversubscription into starvation; the harness
+    records how many workers actually landed so "pinned" in a report
+    always means it really happened. *)
+
+external pin_current_thread : int -> bool = "rme_pin_current_thread"
+
+external supported : unit -> bool = "rme_pin_supported" [@@noalloc]
+
+let supported = supported ()
+
+(* Pin the calling domain to [core] (0-based). False when unsupported or
+   when the core index is out of the affinity-mask range. *)
+let to_core core = if core < 0 then false else pin_current_thread core

@@ -22,8 +22,8 @@ let conventional_table : (string * (Backend.mem -> Intf.mutex)) list =
 
 let conventional_names = List.map fst conventional_table
 
-let conventional ?model crash ~n which : Intf.mutex =
-  let mem = Backend.create ?model crash ~n in
+let conventional ?model ?padded crash ~n which : Intf.mutex =
+  let mem = Backend.create ?model ?padded crash ~n in
   match List.assoc_opt which conventional_table with
   | Some make -> make mem
   | None -> invalid_arg ("Stack.conventional: unknown lock " ^ which)
@@ -56,8 +56,8 @@ let recoverable_names = List.map fst recoverable_table
    outside the paper's construction.) *)
 let ported_names = recoverable_names @ conventional_names
 
-let recoverable ?model crash ~n which : Intf.rme =
-  let mem = Backend.create ?model crash ~n in
+let recoverable ?model ?padded crash ~n which : Intf.rme =
+  let mem = Backend.create ?model ?padded crash ~n in
   match List.assoc_opt which recoverable_table with
   | Some make -> make mem
   | None -> invalid_arg ("Stack.recoverable: unknown stack " ^ which)

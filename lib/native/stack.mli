@@ -7,14 +7,26 @@
     the paper's most intricate code. *)
 
 val conventional :
-  ?model:Sim.Memory.model -> Crash.t -> n:int -> string -> Intf.mutex
-(** By registry name; see {!conventional_names}.
+  ?model:Sim.Memory.model ->
+  ?padded:bool ->
+  Crash.t ->
+  n:int ->
+  string ->
+  Intf.mutex
+(** By registry name; see {!conventional_names}. [?padded] (default true)
+    cache-line-pads the backend cells; [~padded:false] is E14's
+    false-sharing ablation.
     @raise Invalid_argument on unknown names. *)
 
 val conventional_names : string list
 
 val recoverable :
-  ?model:Sim.Memory.model -> Crash.t -> n:int -> string -> Intf.rme
+  ?model:Sim.Memory.model ->
+  ?padded:bool ->
+  Crash.t ->
+  n:int ->
+  string ->
+  Intf.rme
 (** By registry name; see {!recoverable_names}. Includes the full
     transformation stacks ([t3-mcs] = t3(t2(t1(mcs)))), the FRF-only
     variant ([frf-mcs]), T1 over the Θ(log N) baseline ([t1-ya]) and the

@@ -12,11 +12,26 @@ type result = {
   counter : int;
   elapsed : float;
   samples : sample array;
+  spin : Backoff.mode;  (** spin policy the run's crash handle used *)
+  pinned : int;  (** workers that actually landed on their core *)
+  passage_ns : Sim.Stats.t option;
+      (** per-passage latency histogram (all workers merged), when the
+          run was armed with [~latency:true]; ns or cycles per [timer] *)
+  timer_is_tsc : bool;  (** latency unit: cycles (TSC) vs monotonic ns *)
+  alloc_words_per_passage : float option;
+      (** worker 1's minor-heap words per steady-state passage, when the
+          run was armed with [~alloc_probe:true] *)
 }
 
+let minor_words_int () = int_of_float (Gc.minor_words ())
+
 let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
-    ?sample_interval ~n ~passages ~make () =
-  let crash = Crash.create ~n in
+    ?sample_interval ?(spin = Backoff.Exponential) ?(pin = false)
+    ?(latency = false) ?(timer = `Ns) ?(alloc_probe = false)
+    ?(sync_start = false) ?run_for ~n ~passages ~make () =
+  let crash =
+    Crash.create ~spin ~spin_seed:(Option.value seed ~default:0) ~n ()
+  in
   let lock = make crash ~n in
   let completed = Array.init (n + 1) (fun _ -> Atomic.make 0) in
   let occupancy = Atomic.make 0 in
@@ -25,11 +40,59 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
   let csr_violations = Atomic.make 0 in
   let csr_reentries = Atomic.make 0 in
   let cs_completions = Atomic.make 0 in
+  let pinned = Atomic.make 0 in
+  (* Start barrier, armed by [sync_start]: without it, a worker whose
+     per-worker budget fits inside one OS timeslice can finish before the
+     next domain even spawns, so small "contended" runs silently measure
+     serial execution. E14's throughput rows hold everyone at the gate
+     until the last domain is up. *)
+  let started = Atomic.make 0 in
+  let cores = Domain.recommended_domain_count () in
+  let now =
+    match timer with `Ns -> Clock.now_ns | `Cycles -> Clock.cycles
+  in
+  let hists =
+    if latency then Array.init (n + 1) (fun _ -> Some (Sim.Stats.create ()))
+    else Array.make (n + 1) None
+  in
+  (* The allocation probe watches worker 1's own minor-words counter
+     (per-domain in OCaml 5) across the steady tail of its passage loop:
+     the first fifth of the passages are warmup, absorbing one-time costs
+     (the domain's DLS backoff state, lock-side lazy initialization), and
+     whatever the tail allocates is charged per passage. Only meaningful
+     failure-free — a crash restarts the loop — so arm it on dedicated
+     rows (E14 does). *)
+  let warmup = max 1 (passages / 5) in
+  let alloc_start = ref 0 in
+  let alloc_stop = ref (-1) in
+  (* Fixed-window mode: stop starting new passages once [run_for] seconds
+     have elapsed (each worker finishes its in-flight passage cleanly, so
+     a FIFO queue drains instead of wedging). Fixed-passage budgets
+     measure a bimodal mix — a short run can complete before the workers
+     ever truly overlap — whereas any window much longer than an OS
+     timeslice spends almost all of it in the contended steady state,
+     which is what E14's throughput rows need to compare. *)
+  let deadline =
+    match run_for with
+    | None -> max_int
+    | Some s -> Clock.now_ns () + int_of_float (s *. 1e9)
+  in
+  let timed = deadline <> max_int in
   (* Deliberately plain: lost updates reveal broken mutual exclusion. *)
   let counter = ref 0 in
   let t0 = Unix.gettimeofday () in
   let worker pid () =
+    if pin && Pin.to_core ((pid - 1) mod cores) then
+      ignore (Atomic.fetch_and_add pinned 1);
+    if sync_start then begin
+      ignore (Atomic.fetch_and_add started 1);
+      while Atomic.get started < n do
+        Domain.cpu_relax ()
+      done
+    end;
     let holding_cs = ref false in
+    let probing = alloc_probe && pid = 1 in
+    let myhist = hists.(pid) in
     let passage ~epoch =
       lock.Intf.recover ~pid ~epoch;
       lock.Intf.enter ~pid ~epoch;
@@ -55,10 +118,21 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
     in
     let body ~epoch =
       try
-        while Atomic.get completed.(pid) < passages do
+        while
+          Atomic.get completed.(pid) < passages
+          && ((not timed) || Clock.now_ns () < deadline)
+        do
           Crash.check crash;
-          passage ~epoch
-        done
+          if probing && Atomic.get completed.(pid) = warmup then
+            alloc_start := minor_words_int ();
+          (match myhist with
+          | None -> passage ~epoch
+          | Some h ->
+            let t = now () in
+            passage ~epoch;
+            Sim.Stats.add_int h (now () - t))
+        done;
+        if probing then alloc_stop := minor_words_int ()
       with Crash.Crashed as e ->
         (* Crashed inside the CS: release the occupancy monitor and record
            the owner the CSR property now protects. *)
@@ -74,7 +148,8 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
   in
   let domains = List.init n (fun i -> Domain.spawn (worker (i + 1))) in
   let unfinished () =
-    Array.exists (fun c -> Atomic.get c < passages) (Array.sub completed 1 n)
+    ((not timed) || Clock.now_ns () < deadline)
+    && Array.exists (fun c -> Atomic.get c < passages) (Array.sub completed 1 n)
   in
   (* Periodic throughput sampler: a passive observer thread that reads
      the per-domain passage counters every [sample_interval] seconds and
@@ -126,6 +201,22 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
     done);
   List.iter Domain.join domains;
   Option.iter Thread.join sampler;
+  let passage_ns =
+    if latency then
+      Some
+        (Array.fold_left
+           (fun acc h ->
+             match h with Some h -> Sim.Stats.merge acc h | None -> acc)
+           (Sim.Stats.create ()) hists)
+    else None
+  in
+  let alloc_words_per_passage =
+    if alloc_probe && !alloc_stop >= 0 && passages > warmup then
+      Some
+        (float_of_int (!alloc_stop - !alloc_start)
+        /. float_of_int (passages - warmup))
+    else None
+  in
   {
     n;
     lock_name = lock.Intf.name;
@@ -138,6 +229,11 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
     counter = !counter;
     elapsed = Unix.gettimeofday () -. t0;
     samples = Array.of_list (List.rev !samples);
+    spin;
+    pinned = Atomic.get pinned;
+    passage_ns;
+    timer_is_tsc = (match timer with `Ns -> false | `Cycles -> Clock.cycles_is_tsc ());
+    alloc_words_per_passage;
   }
 
 let metrics r =
@@ -146,33 +242,119 @@ let metrics r =
     List.tl (Array.to_list (Array.map (fun c -> Sim.Json.Int c) r.completed))
   in
   Sim.Json.Obj
-    [
-      ("schema", Sim.Json.Str "rme-native-metrics/1");
-      ("lock", Sim.Json.Str r.lock_name);
-      ("n", Sim.Json.Int r.n);
-      ("completed", Sim.Json.List per_domain);
-      ("total_passages", Sim.Json.Int total);
-      ("crashes", Sim.Json.Int r.crashes);
-      ("me_violations", Sim.Json.Int r.me_violations);
-      ("csr_violations", Sim.Json.Int r.csr_violations);
-      ("csr_reentries", Sim.Json.Int r.csr_reentries);
-      ("cs_completions", Sim.Json.Int r.cs_completions);
-      ("counter", Sim.Json.Int r.counter);
-      ("elapsed_s", Sim.Json.Float r.elapsed);
-      ( "throughput_pps",
-        Sim.Json.Float
-          (if r.elapsed > 0. then float_of_int total /. r.elapsed else 0.) );
-      ( "samples",
-        Sim.Json.List
-          (Array.to_list
-             (Array.map
-                (fun s ->
-                  Sim.Json.List
-                    [ Sim.Json.Float s.at; Sim.Json.Int s.total_passages ])
-                r.samples)) );
-    ]
+    ([
+       ("schema", Sim.Json.Str "rme-native-metrics/1");
+       ("lock", Sim.Json.Str r.lock_name);
+       ("n", Sim.Json.Int r.n);
+       ("completed", Sim.Json.List per_domain);
+       ("total_passages", Sim.Json.Int total);
+       ("crashes", Sim.Json.Int r.crashes);
+       ("me_violations", Sim.Json.Int r.me_violations);
+       ("csr_violations", Sim.Json.Int r.csr_violations);
+       ("csr_reentries", Sim.Json.Int r.csr_reentries);
+       ("cs_completions", Sim.Json.Int r.cs_completions);
+       ("counter", Sim.Json.Int r.counter);
+       ("elapsed_s", Sim.Json.Float r.elapsed);
+       ( "throughput_pps",
+         Sim.Json.Float
+           (if r.elapsed > 0. then float_of_int total /. r.elapsed else 0.) );
+       ("spin", Sim.Json.Str (Backoff.mode_name r.spin));
+       ("pinned", Sim.Json.Int r.pinned);
+       ( "samples",
+         Sim.Json.List
+           (Array.to_list
+              (Array.map
+                 (fun s ->
+                   Sim.Json.List
+                     [ Sim.Json.Float s.at; Sim.Json.Int s.total_passages ])
+                 r.samples)) );
+     ]
+    @ (match r.passage_ns with
+      | Some h ->
+        [
+          ("passage_latency", Sim.Stats.to_json h);
+          ( "latency_unit",
+            Sim.Json.Str (if r.timer_is_tsc then "cycles" else "ns") );
+        ]
+      | None -> [])
+    @
+    match r.alloc_words_per_passage with
+    | Some w -> [ ("alloc_words_per_passage", Sim.Json.Float w) ]
+    | None -> [])
 
 let metrics_json r = Sim.Json.to_string ~pretty:true (metrics r) ^ "\n"
+
+(* Shape-check a parsed rme-native-metrics/1 document — the native
+   analogue of [Report.validate_bench], used by bench/validate.exe on
+   files produced by [run --metrics] / [native --metrics]. *)
+let validate_metrics doc =
+  let open Sim.Json in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec all = function
+    | [] -> Ok ()
+    | check :: rest -> ( match check () with Ok () -> all rest | e -> e)
+  in
+  let is_num = function Int _ | Float _ -> true | _ -> false in
+  let require name pred =
+    fun () ->
+    match member name doc with
+    | None -> err "missing member %S" name
+    | Some v -> if pred v then Ok () else err "member %S has the wrong shape" name
+  in
+  let optional name pred =
+    fun () ->
+    match member name doc with
+    | None -> Ok ()
+    | Some v -> if pred v then Ok () else err "member %S has the wrong shape" name
+  in
+  match member "schema" doc with
+  | Some (Str "rme-native-metrics/1") ->
+    all
+      [
+        require "lock" (function Str _ -> true | _ -> false);
+        require "n" (function Int n -> n >= 1 | _ -> false);
+        (fun () ->
+          match (member "n" doc, member "completed" doc) with
+          | Some (Int n), Some (List per) ->
+            if List.length per <> n then
+              err "completed has %d entries for n=%d" (List.length per) n
+            else if List.for_all (function Int c -> c >= 0 | _ -> false) per
+            then Ok ()
+            else err "completed entries must be non-negative ints"
+          | _ -> err "missing member %S" "completed");
+        require "total_passages" (function Int c -> c >= 0 | _ -> false);
+        require "crashes" (function Int c -> c >= 0 | _ -> false);
+        require "me_violations" (function Int c -> c >= 0 | _ -> false);
+        require "csr_violations" (function Int c -> c >= 0 | _ -> false);
+        require "csr_reentries" (function Int c -> c >= 0 | _ -> false);
+        require "cs_completions" (function Int c -> c >= 0 | _ -> false);
+        require "counter" (function Int _ -> true | _ -> false);
+        require "elapsed_s" is_num;
+        require "throughput_pps" is_num;
+        require "spin" (function
+          | Str s -> Option.is_some (Backoff.mode_of_name s)
+          | _ -> false);
+        require "pinned" (function Int c -> c >= 0 | _ -> false);
+        require "samples" (function
+          | List ss ->
+            List.for_all
+              (function
+                | List [ at; Int tp ] -> is_num at && tp >= 0 | _ -> false)
+              ss
+          | _ -> false);
+        optional "passage_latency" (function
+          | Obj _ as h ->
+            List.for_all
+              (fun k -> Option.is_some (member k h))
+              [ "count"; "mean"; "min"; "max"; "p50"; "p90"; "p99"; "buckets" ]
+          | _ -> false);
+        optional "latency_unit" (function
+          | Str ("ns" | "cycles") -> true
+          | _ -> false);
+        optional "alloc_words_per_passage" is_num;
+      ]
+  | Some (Str s) -> err "schema is %S, expected \"rme-native-metrics/1\"" s
+  | _ -> err "missing member %S" "schema"
 
 let check_clean r =
   if r.me_violations > 0 then

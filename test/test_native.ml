@@ -52,10 +52,89 @@ let natomic_cas_contended () =
   Alcotest.(check int) "one winner per round" rounds (Atomic.get wins);
   Alcotest.(check int) "final value" rounds (Atomic.get a)
 
+(* --- Backoff (DESIGN.md §5.15) --- *)
+
+let backoff_seeded_replay () =
+  (* The spin-wait schedule is part of the deterministic-replay story:
+     same seed, same plan sequence, byte for byte. *)
+  let plans b = List.init 64 (fun _ -> Rme_native.Backoff.plan b) in
+  let a = Rme_native.Backoff.create ~seed:42 () in
+  let b = Rme_native.Backoff.create ~seed:42 () in
+  Alcotest.(check (list int)) "same seed, same schedule" (plans a) (plans b);
+  Alcotest.(check bool)
+    "different seed, different schedule" true
+    (plans (Rme_native.Backoff.create ~seed:42 ())
+    <> plans (Rme_native.Backoff.create ~seed:43 ()))
+
+let backoff_window_cap_and_reset () =
+  let ceiling = 64 in
+  let b = Rme_native.Backoff.create ~seed:7 ~ceiling () in
+  Alcotest.(check bool) "fresh, not saturated" false
+    (Rme_native.Backoff.saturated b);
+  for _ = 1 to 32 do
+    let spins = Rme_native.Backoff.plan b in
+    Alcotest.(check bool) "plan within window bounds" true
+      (1 <= spins && spins <= ceiling)
+  done;
+  Alcotest.(check bool) "window capped at ceiling" true
+    (Rme_native.Backoff.saturated b);
+  Rme_native.Backoff.reset b;
+  Alcotest.(check bool) "reset reopens the window" false
+    (Rme_native.Backoff.saturated b);
+  Alcotest.(check int) "first plan after reset spins once" 1
+    (Rme_native.Backoff.plan b)
+
+let backoff_degenerate_modes () =
+  List.iter
+    (fun mode ->
+      let b = Rme_native.Backoff.create ~mode ~seed:1 () in
+      for _ = 1 to 16 do
+        Alcotest.(check int)
+          (Rme_native.Backoff.mode_name mode ^ " always plans one spin")
+          1 (Rme_native.Backoff.plan b)
+      done)
+    [ Rme_native.Backoff.Relax; Rme_native.Backoff.Spin ];
+  List.iter
+    (fun mode ->
+      Alcotest.(check bool) "mode name round-trips" true
+        (Rme_native.Backoff.mode_of_name (Rme_native.Backoff.mode_name mode)
+        = Some mode))
+    [ Rme_native.Backoff.Exponential; Rme_native.Backoff.Relax;
+      Rme_native.Backoff.Spin ];
+  Alcotest.(check bool) "unknown mode name rejected" true
+    (Rme_native.Backoff.mode_of_name "warp" = None)
+
+(* --- Padding --- *)
+
+let padded_cell_basic_ops () =
+  let a, _spacer = Rme_native.Natomic.make_padded 5 in
+  Alcotest.(check int) "get" 5 (Atomic.get a);
+  Alcotest.(check int) "cas" 5 (Rme_native.Natomic.cas a ~expect:5 ~repl:9);
+  Alcotest.(check int) "fas" 9 (Rme_native.Natomic.fas a 11);
+  Alcotest.(check int) "faa" 11 (Rme_native.Natomic.faa a 4);
+  Alcotest.(check int) "value" 15 (Atomic.get a);
+  (* Whichever padding implementation dune selected, the flag must be a
+     definite answer (5.2+: make_contended; earlier: spacer objects). *)
+  ignore (Rme_native.Natomic.padding_guaranteed : bool)
+
+(* --- Pinning --- *)
+
+let pin_noop_when_unsupported () =
+  (* Negative cores are always a clean no-op; a real core-0 pin must
+     succeed wherever the platform claims support. *)
+  Alcotest.(check bool) "negative core refused" false
+    (Rme_native.Pin.to_core (-1));
+  if Rme_native.Pin.supported then
+    Alcotest.(check bool) "core 0 pin lands" true
+      (Domain.join (Domain.spawn (fun () -> Rme_native.Pin.to_core 0)))
+  else
+    Alcotest.(check bool) "unsupported: to_core is a no-op" false
+      (Rme_native.Pin.to_core 0)
+
 (* --- Crash protocol --- *)
 
 let crash_protocol_epochs () =
-  let crash = Rme_native.Crash.create ~n:1 in
+  let crash = Rme_native.Crash.create ~n:1 () in
   let epochs_seen = ref [] in
   let d =
     Domain.spawn (fun () ->
@@ -90,7 +169,7 @@ let barrier_all_pass model () =
      between rounds. *)
   let n = 3 in
   let rounds = 4 in
-  let crash = Rme_native.Crash.create ~n in
+  let crash = Rme_native.Crash.create ~n () in
   let mem = Rme_native.Backend.create ~model crash ~n in
   let b = NBarrier.create mem ~name:"b" in
   let passed = Atomic.make 0 in
@@ -204,6 +283,92 @@ let native_distributed_barrier_storm () =
   in
   assert_native_clean "t3-mcs distributed-barrier storm" r
 
+let native_substrate_variant_storms () =
+  (* The E14 ablation axes must not change what the monitors see: padded
+     and unpadded cells, tuned and bare spinning, CC and DSM, all clean
+     under the same seeded storm. *)
+  List.iter
+    (fun (stack, model, padded, spin) ->
+      let r =
+        Rme_native.Workers.run ~crash_interval:0.001 ~max_crashes:15 ~seed:6
+          ~spin ~n:module_n ~passages:15_000
+          ~make:(fun crash ~n ->
+            Rme_native.Stack.recoverable ~model ~padded crash ~n stack)
+          ()
+      in
+      assert_native_clean
+        (Printf.sprintf "%s %s storm (padded=%b, spin=%s)" stack
+           (match model with Sim.Memory.Cc -> "cc" | Sim.Memory.Dsm -> "dsm")
+           padded
+           (Rme_native.Backoff.mode_name spin))
+        r)
+    [
+      ("t1-mcs", Sim.Memory.Cc, false, Rme_native.Backoff.Exponential);
+      ("t1-mcs", Sim.Memory.Cc, true, Rme_native.Backoff.Spin);
+      ("t3-mcs", Sim.Memory.Dsm, false, Rme_native.Backoff.Spin);
+      ("t3-mcs", Sim.Memory.Dsm, true, Rme_native.Backoff.Relax);
+    ]
+
+let native_pinned_run_clean () =
+  (* ~pin is best-effort by contract: the run must be clean either way,
+     and the landed-pin count must be sane. *)
+  let r =
+    Rme_native.Workers.run ~pin:true ~n:2 ~passages:2_000
+      ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n "t1-mcs")
+      ()
+  in
+  assert_native_clean "pinned run" r;
+  Alcotest.(check bool) "pinned count within [0, n]" true
+    (0 <= r.Rme_native.Workers.pinned && r.Rme_native.Workers.pinned <= 2);
+  if not Rme_native.Pin.supported then
+    Alcotest.(check int) "unsupported: no pins land" 0
+      r.Rme_native.Workers.pinned
+
+let native_instrumentation_smoke () =
+  (* Latency histograms, the allocation probe, the start barrier and the
+     fixed-duration window, each through the metrics validator. *)
+  let check_metrics what r =
+    match Rme_native.Workers.validate_metrics (Rme_native.Workers.metrics r)
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: metrics invalid: %s" what e
+  in
+  let lat =
+    Rme_native.Workers.run ~latency:true ~sync_start:true ~n:2 ~passages:2_000
+      ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n "t1-mcs")
+      ()
+  in
+  assert_native_clean "latency run" lat;
+  (match lat.Rme_native.Workers.passage_ns with
+  | None -> Alcotest.fail "latency armed but no histogram"
+  | Some h ->
+    Alcotest.(check int) "histogram saw every passage" 4_000
+      (Sim.Stats.count h));
+  check_metrics "latency run" lat;
+  let probe =
+    Rme_native.Workers.run ~alloc_probe:true ~sync_start:true ~n:1
+      ~passages:5_000
+      ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n "t1-mcs")
+      ()
+  in
+  assert_native_clean "alloc probe run" probe;
+  (match probe.Rme_native.Workers.alloc_words_per_passage with
+  | None -> Alcotest.fail "probe armed on a failure-free run but no reading"
+  | Some w ->
+    if w > 1.0 then
+      Alcotest.failf "steady-state passage path allocates: %.2f words" w);
+  check_metrics "alloc probe run" probe;
+  let windowed =
+    Rme_native.Workers.run ~run_for:0.05 ~sync_start:true ~n:2
+      ~passages:max_int
+      ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n "t1-mcs")
+      ()
+  in
+  assert_native_clean "windowed run" windowed;
+  Alcotest.(check bool) "window closed the run" true
+    (Array.fold_left ( + ) 0 windowed.Rme_native.Workers.completed < max_int);
+  check_metrics "windowed run" windowed
+
 let native_many_domains () =
   (* Oversubscribe well beyond the core count. *)
   let n = 8 in
@@ -224,6 +389,16 @@ let () =
           case "fas-faa" natomic_fas_faa;
           case "cas-contended" natomic_cas_contended;
         ] );
+      ( "substrate",
+        [
+          case "backoff-seeded-replay" backoff_seeded_replay;
+          case "backoff-window-cap" backoff_window_cap_and_reset;
+          case "backoff-degenerate-modes" backoff_degenerate_modes;
+          case "padded-cell-ops" padded_cell_basic_ops;
+          case "pin-noop-when-unsupported" pin_noop_when_unsupported;
+          case "pinned-run-clean" native_pinned_run_clean;
+          case "instrumentation-smoke" native_instrumentation_smoke;
+        ] );
       ("crash-protocol", [ case "epochs" crash_protocol_epochs ]);
       ( "barrier",
         [
@@ -240,6 +415,7 @@ let () =
           slow_case "stacks" native_storms;
           slow_case "csr-holds" native_csr_stacks_hold_csr;
           slow_case "distributed-barrier" native_distributed_barrier_storm;
+          slow_case "substrate-variants" native_substrate_variant_storms;
           slow_case "many-domains" native_many_domains;
         ] );
     ]
