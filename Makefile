@@ -1,7 +1,7 @@
 # Tier-1 verification plus the parallel-engine smoke test. `make ci` is
 # what .github/workflows/ci.yml runs; keep the two in sync.
 
-.PHONY: all build test differential bench-smoke e10-smoke e13-smoke e14-smoke trace-sample validate baselines deep-check ci clean
+.PHONY: all build test differential bench-smoke scenario-smoke e10-smoke e13-smoke e14-smoke trace-sample validate baselines deep-check ci clean
 
 all: build
 
@@ -35,6 +35,27 @@ bench-smoke: build
 	dune exec bench/validate.exe -- --baseline bench/baselines \
 	  BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json
 	$(MAKE) e14-smoke
+	$(MAKE) scenario-smoke
+
+# The Scenario-builder gate (DESIGN.md §5.16): a quick storm over every
+# registered scenario, then one forced-violation search — the known T1
+# CSR counterexample must be found, shrunk, and emitted as a schema-valid
+# rme-mc-outcome/1 JSON whose minimized schedule replays the violation
+# (--expect-violation inverts the exit code, so a T1 stack that stopped
+# violating — or a shrinker that broke — fails this target).
+scenario-smoke: build
+	dune exec bin/rme_cli.exe -- scenario run rme --stack t3-mcs -n 3 \
+	  --passages 5 --seed 7 --crash-mean 300 --out scenario_rme.json
+	dune exec bin/rme_cli.exe -- scenario run mutex --stack mcs -n 3 \
+	  --passages 5 --seed 7 --out scenario_mutex.json
+	dune exec bin/rme_cli.exe -- scenario run barrier -n 3 --seed 7 \
+	  --out scenario_barrier.json
+	dune exec bin/rme_cli.exe -- scenario run barrier-sub -n 3 --seed 7 \
+	  --out scenario_barrier_sub.json
+	dune exec bin/rme_cli.exe -- model-check --scenario rme --stack t1-mcs \
+	  -n 2 -d 2 -c 1 --expect-violation --out scenario_t1_csr.json
+	dune exec bench/validate.exe -- scenario_rme.json scenario_mutex.json \
+	  scenario_barrier.json scenario_barrier_sub.json scenario_t1_csr.json
 
 # Refresh the committed expectations after a deliberate behaviour change.
 # E14's captured cells are deterministic by design (the machine numbers
@@ -69,6 +90,7 @@ deep-check: build
 	  --reduce por --out deep-check/barrier-n3-d3-c2.json
 	dune exec bin/rme_cli.exe -- model-check --scenario barrier-sub -n 3 \
 	  --model dsm -d 3 --reduce por --out deep-check/barrier-sub-n3-d3.json
+	dune exec bench/validate.exe -- deep-check/*.json
 	dune exec bench/main.exe -- e13
 	cp BENCH_E13.json deep-check/
 	dune exec bench/main.exe -- e14
@@ -113,5 +135,5 @@ ci: build test differential e13-smoke bench-smoke e10-smoke trace-sample
 
 clean:
 	dune clean
-	rm -f BENCH_E*.json trace_sample.json
+	rm -f BENCH_E*.json trace_sample.json scenario_*.json
 	rm -rf deep-check

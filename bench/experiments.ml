@@ -409,19 +409,23 @@ let ablations ~pool () =
 
 (* E8: correctness statistics under crash storms. One task per (algorithm,
    seed); per-algorithm sums are folded back in seed order (they are
-   commutative sums anyway, but order costs nothing). *)
+   commutative sums anyway, but order costs nothing). Each run is one
+   {!Harness.Scenario.storm} over the builder composition that also backs
+   E9/E12's model checking — the monitors (and so the violation counters)
+   are the exact code the searches use, not a parallel implementation. *)
 let correctness_stats ~pool () =
   let seeds = List.init 12 (fun i -> i + 1) in
   let names = [ "unprotected-mcs"; "t1-mcs"; "t2-mcs"; "t3-mcs" ] in
   let reports =
     Pool.map pool
       (fun (name, seed) ->
-        Driver.run ~n:6 ~passages:50 ~max_steps:2_000_000 ~model:Memory.Cc
-          ~make:(fun mem -> Rme.Stack.recoverable mem name)
+        Harness.Scenario.storm ~max_steps:2_000_000 ~seed
           ~schedule:
             (Schedule.with_random_crashes ~seed ~mean:300 ~bursty:true
                (Schedule.uniform ~seed:(seed * 13)))
-          ())
+          (Harness.Scenario.rme_lock ~passages:50 ~n:6 ~model:Memory.Cc
+             ~make:(fun mem -> Rme.Stack.recoverable mem name)
+             ()))
       (cross names seeds)
   in
   let rows =
@@ -434,13 +438,14 @@ let correctness_stats ~pool () =
         and wedged = ref 0
         and lost = ref 0 in
         List.iter
-          (fun (r : Driver.report) ->
-            acc_me := !acc_me + r.Driver.me_violations;
-            acc_csrv := !acc_csrv + r.Driver.csr_violations;
-            acc_reent := !acc_reent + r.Driver.csr_reentries;
-            acc_crashes := !acc_crashes + r.Driver.crashes;
-            if r.Driver.counter_value <> r.Driver.cs_completions then incr lost;
-            if not r.Driver.all_done then incr wedged)
+          (fun (r : Harness.Scenario.storm_report) ->
+            let c = Harness.Scenario.counter r in
+            acc_me := !acc_me + c "me-violations";
+            acc_csrv := !acc_csrv + c "csr-violations";
+            acc_reent := !acc_reent + c "csr-reentries";
+            acc_crashes := !acc_crashes + r.st_crashes;
+            if c "lost-updates" > 0 then incr lost;
+            if not r.st_all_done then incr wedged)
           per_seed;
         [
           name;

@@ -5,10 +5,13 @@
      validate.exe --baseline DIR [--tolerance F] [FILE ...]
 
    Without [--baseline] it parses each file and checks it against its
-   declared schema — "rme-bench/1" (Report.validate_bench) or
-   "rme-native-metrics/1" (Rme_native.Workers.validate_metrics), the
-   files [native --metrics] / [run --metrics] write; dispatch is on the
-   document's "schema" member. With no FILE arguments it globs
+   declared schema — "rme-bench/1" (Report.validate_bench),
+   "rme-native-metrics/1" (Rme_native.Workers.validate_metrics, the
+   files [native --metrics] / [run --metrics] write) or
+   "rme-mc-outcome/1" (Report.validate_mc_outcome, the files
+   [model-check --out] / [scenario run --out] write); dispatch is on
+   the document's "schema" member, and a missing or unknown schema is a
+   FAIL, not a silent fallback. With no FILE arguments it globs
    BENCH_E*.json in the current directory.
 
    With [--baseline DIR] it additionally compares each (valid) fresh file
@@ -46,14 +49,22 @@ let read_file file =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Which validator a document wants, by its "schema" member. Bench
-   tables are the default (and the only kind the baseline gate knows how
-   to diff); native metrics files are shape-checked and left at that —
-   every number in them is machine-dependent. *)
+(* Which validator a document wants, by its "schema" member. An unknown
+   or missing schema is an error: silently treating it as a bench table
+   (the historical behaviour) turned typos into confusing "missing
+   experiment" failures, and new artifact kinds skipped validation
+   entirely. Only bench tables enter the baseline diff; native metrics
+   are machine-dependent throughout, and mc outcomes are gated by their
+   producing command's exit code instead. *)
 let kind_of doc =
   match Sim.Json.member "schema" doc with
-  | Some (Sim.Json.Str "rme-native-metrics/1") -> `Native
-  | _ -> `Bench
+  | Some (Sim.Json.Str s) when s = Harness.Report.bench_schema -> Ok `Bench
+  | Some (Sim.Json.Str "rme-native-metrics/1") -> Ok `Native
+  | Some (Sim.Json.Str s) when s = Harness.Report.mc_outcome_schema ->
+    Ok `Mc_outcome
+  | Some (Sim.Json.Str s) -> Error (Printf.sprintf "unknown schema %S" s)
+  | Some _ -> Error "schema: expected a string"
+  | None -> Error "missing schema member"
 
 let parse_doc file =
   match Sim.Json.parse (read_file file) with
@@ -64,16 +75,22 @@ let parse_doc file =
     Printf.printf "%s: FAIL (not valid JSON: %s)\n" file e;
     None
   | doc -> (
-    let validate =
-      match kind_of doc with
-      | `Native -> Rme_native.Workers.validate_metrics
-      | `Bench -> Harness.Report.validate_bench
-    in
-    match validate doc with
-    | Ok () -> Some doc
+    match kind_of doc with
     | Error e ->
       Printf.printf "%s: FAIL (%s)\n" file e;
-      None)
+      None
+    | Ok kind -> (
+      let validate =
+        match kind with
+        | `Native -> Rme_native.Workers.validate_metrics
+        | `Bench -> Harness.Report.validate_bench
+        | `Mc_outcome -> Harness.Report.validate_mc_outcome
+      in
+      match validate doc with
+      | Ok () -> Some doc
+      | Error e ->
+        Printf.printf "%s: FAIL (%s)\n" file e;
+        None))
 
 (* --- baseline comparison --- *)
 
@@ -211,9 +228,14 @@ let () =
   let check file =
     match parse_doc file with
     | None -> false
-    | Some doc when kind_of doc = `Native ->
+    | Some doc when kind_of doc = Ok `Native ->
       (* Native metrics carry no machine-independent cells to gate. *)
       Printf.printf "%s: ok (rme-native-metrics/1, schema only)\n" file;
+      true
+    | Some doc when kind_of doc = Ok `Mc_outcome ->
+      (* Outcome verdicts are gated by the producing command's exit
+         code; here only the document shape is checked. *)
+      Printf.printf "%s: ok (rme-mc-outcome/1, schema only)\n" file;
       true
     | Some doc -> (
       match !baseline with

@@ -170,12 +170,71 @@ let run_cmd =
 
 (* --- model-check --- *)
 
+(* Scenario names come from the shared registry (Harness.Scenario), not a
+   hard-coded enum: a builder-registered scenario appears in
+   `model-check --scenario`, `scenario list` and `scenario run` at once. *)
+let scenario_name_conv =
+  let parse s =
+    if Option.is_some (Harness.Scenario.find s) then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown scenario %S; registered: %s" s
+              (String.concat ", " (Harness.Scenario.names ()))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let pp_minimized n (m : Harness.Shrink.result) =
+  Printf.printf
+    "minimized schedule: %d decisions, %d interventions (%d probes)\n"
+    (Array.length m.Harness.Shrink.s_trace)
+    (List.length m.Harness.Shrink.s_interventions)
+    m.Harness.Shrink.s_probes;
+  List.iter
+    (fun (pos, d) ->
+      Printf.printf "  @%d: %s\n" pos (Harness.Model_check.describe_decision ~n d))
+    m.Harness.Shrink.s_interventions;
+  List.iter
+    (fun v -> Printf.printf "  reproduces: %s\n" v)
+    m.Harness.Shrink.s_violations
+
+let minimized_json (m : Harness.Shrink.result option) ~n =
+  let open Sim.Json in
+  match m with
+  | None -> Null
+  | Some m ->
+    Obj
+      [
+        ( "trace",
+          List (Array.to_list (Array.map (fun d -> Int d) m.Harness.Shrink.s_trace))
+        );
+        ( "interventions",
+          List
+            (List.map
+               (fun (pos, d) ->
+                 Obj
+                   [
+                     ("pos", Int pos);
+                     ("decision", Int d);
+                     ( "meaning",
+                       Str (Harness.Model_check.describe_decision ~n d) );
+                   ])
+               m.Harness.Shrink.s_interventions) );
+        ( "violations",
+          List (List.map (fun v -> Str v) m.Harness.Shrink.s_violations) );
+        ("steps", Int m.Harness.Shrink.s_steps);
+        ("probes", Int m.Harness.Shrink.s_probes);
+      ]
+
 let model_check_cmd =
   let scenario =
     Arg.(
       value
-      & opt (enum [ ("rme", `Rme); ("barrier", `Barrier); ("barrier-sub", `Sub) ]) `Rme
-      & info [ "scenario" ] ~doc:"What to check: rme, barrier or barrier-sub.")
+      & opt scenario_name_conv "rme"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "What to check — any scenario from the shared registry (see \
+             $(b,rme scenario list)).")
   in
   let dbound =
     Arg.(value & opt int 1 & info [ "d" ] ~doc:"Divergence (preemption) bound.")
@@ -228,36 +287,72 @@ let model_check_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE"
           ~doc:
-            "Also write the outcome (configuration, counters and every \
-             recorded violation) as JSON to $(docv) — the nightly \
-             deep-check uploads these as artifacts.")
+            "Also write the outcome (configuration, counters, every \
+             recorded violation, the violating decision trace and its \
+             minimized schedule) as rme-mc-outcome/1 JSON to $(docv) — \
+             the nightly deep-check uploads these as artifacts.")
+  in
+  let stop_on_first =
+    Arg.(
+      value & flag
+      & info [ "stop-on-first" ]
+          ~doc:"Stop the search at the first recorded violation.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:
+            "Do not minimize the violating schedule (shrinking replays \
+             the scenario a few hundred times; it is cheap, but \
+             exactly reproducing legacy output may matter).")
+  in
+  let expect_violation =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:
+            "Invert the exit code: succeed iff a violation IS found \
+             (for known-negative gates like scenario-smoke).")
   in
   let run scenario stack model n dbound cbound cobound max_runs passages
-      no_csr reduction out jobs =
+      no_csr reduction out jobs stop_on_first no_shrink expect_violation =
+    let build = Option.get (Harness.Scenario.find scenario) in
     let sc =
-      match scenario with
-      | `Rme ->
-        Harness.Scenarios.rme ~passages ~check_csr:(not no_csr) ~n ~model
-          ~make:(fun mem -> Rme.Stack.recoverable mem stack)
-          ()
-      | `Barrier -> Harness.Scenarios.barrier ~epochs:(cbound + 1) ~n ~model ()
-      | `Sub -> Harness.Scenarios.barrier_sub ~n ~model ()
+      build
+        {
+          Harness.Scenario.sp_stack = stack;
+          sp_n = n;
+          sp_model = model;
+          sp_passages = passages;
+          sp_check_csr = not no_csr;
+          sp_crash_bound = cbound;
+        }
     in
     let o =
       Harness.Model_check.explore ~divergence_bound:dbound ~crash_bound:cbound
-        ~crash_one_bound:cobound ~max_runs ~reduction ~jobs sc
+        ~crash_one_bound:cobound ~max_runs ~reduction ~stop_on_first ~jobs sc
     in
     Format.printf "%a@." Harness.Model_check.pp_outcome o;
+    let minimized =
+      match (no_shrink, o.Harness.Model_check.witness) with
+      | true, _ | _, None -> None
+      | false, Some w ->
+        let m = Harness.Shrink.minimize sc w in
+        Option.iter (pp_minimized n) m;
+        m
+    in
     Option.iter
       (fun file ->
         let open Sim.Json in
         let doc =
           Obj
             [
-              ("schema", Str "rme-model-check/1");
+              ("schema", Str Harness.Report.mc_outcome_schema);
               ( "config",
                 Obj
                   [
+                    ("scenario", Str scenario);
                     ("stack", Str stack);
                     ("model", Str (Format.asprintf "%a" Sim.Memory.pp_model model));
                     ("n", Int n);
@@ -288,19 +383,281 @@ let model_check_cmd =
                         (List.map
                            (fun v -> Str v)
                            o.Harness.Model_check.violations) );
+                    ( "witness",
+                      match o.Harness.Model_check.witness with
+                      | None -> Null
+                      | Some w ->
+                        List (Array.to_list (Array.map (fun d -> Int d) w)) );
                   ] );
+              ("minimized_schedule", minimized_json minimized ~n);
             ]
         in
         write_file file (to_string ~pretty:true doc ^ "\n"))
       out;
-    if o.Harness.Model_check.violations = [] then 0 else 1
+    let violated = o.Harness.Model_check.violations <> [] in
+    if violated <> expect_violation then 1 else 0
   in
   Cmd.v
     (Cmd.info "model-check"
        ~doc:"Systematically explore schedules (and crash points).")
     Term.(
       const run $ scenario $ stack_arg $ model_arg $ n_arg $ dbound $ cbound
-      $ cobound $ max_runs $ passages $ no_csr $ reduce $ out $ jobs_arg)
+      $ cobound $ max_runs $ passages $ no_csr $ reduce $ out $ jobs_arg
+      $ stop_on_first $ no_shrink $ expect_violation)
+
+(* --- scenario: list / describe / run over the shared registry --- *)
+
+let scenario_cmd =
+  let name_pos =
+    Arg.(
+      required
+      & pos 0 (some scenario_name_conv) None
+      & info [] ~docv:"NAME" ~doc:"Registered scenario name.")
+  in
+  let list_cmd =
+    let run () =
+      List.iter
+        (fun i ->
+          Printf.printf "  %-12s %s%s\n" i.Harness.Scenario.i_name
+            i.Harness.Scenario.i_summary
+            (if i.Harness.Scenario.i_needs_stack then "  [--stack]" else ""))
+        (Harness.Scenario.infos ());
+      0
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List every registered scenario.")
+      Term.(const run $ const ())
+  in
+  let describe_cmd =
+    let run name =
+      let i = Option.get (Harness.Scenario.info name) in
+      Printf.printf "%s: %s\n" i.Harness.Scenario.i_name
+        i.Harness.Scenario.i_summary;
+      Printf.printf "  takes a lock stack: %b\n" i.Harness.Scenario.i_needs_stack;
+      Printf.printf
+        "  run it:         rme scenario run %s%s\n"
+        name
+        (if i.Harness.Scenario.i_needs_stack then " --stack t3-mcs" else "");
+      Printf.printf "  model-check it: rme model-check --scenario %s\n" name;
+      0
+    in
+    Cmd.v
+      (Cmd.info "describe" ~doc:"Describe one registered scenario.")
+      Term.(const run $ name_pos)
+  in
+  let run_cmd =
+    let crash_mean =
+      Arg.(
+        value & opt (some int) None
+        & info [ "crash-mean" ]
+            ~doc:"Inject system-wide crashes with this mean interval in steps.")
+    in
+    let bursty =
+      Arg.(value & flag & info [ "bursty" ] ~doc:"Crashes arrive in bursts.")
+    in
+    let lost_wakeup_mean =
+      Arg.(
+        value & opt int 0
+        & info [ "lost-wakeup-mean" ] ~docv:"MEAN"
+            ~doc:
+              "Suppress a random process's pending await (a lost wakeup) \
+               with probability 1/$(docv) per decision (0 = never).")
+    in
+    let delay_mean =
+      Arg.(
+        value & opt int 0
+        & info [ "delay-mean" ] ~docv:"MEAN"
+            ~doc:
+              "Arm a delayed-visibility window on a random process's next \
+               write with probability 1/$(docv) per decision (0 = never).")
+    in
+    let delay_window =
+      Arg.(
+        value & opt int 8
+        & info [ "delay-window" ] ~docv:"TICKS"
+            ~doc:"Visibility window for --delay-mean faults, in clock ticks.")
+    in
+    let max_steps =
+      Arg.(
+        value & opt int 2_000_000
+        & info [ "max-steps" ] ~doc:"Hard step budget for the storm run.")
+    in
+    let epochs =
+      Arg.(
+        value & opt int 1
+        & info [ "epochs" ] ~doc:"Rounds for barrier-style scenarios.")
+    in
+    let no_csr =
+      Arg.(
+        value & flag
+        & info [ "no-csr" ]
+            ~doc:"Do not flag CSR violations (for stacks that lack CSR).")
+    in
+    let no_shrink =
+      Arg.(
+        value & flag
+        & info [ "no-shrink" ]
+            ~doc:"Do not minimize a violating storm trace.")
+    in
+    let expect_violation =
+      Arg.(
+        value & flag
+        & info [ "expect-violation" ]
+            ~doc:
+              "Invert the exit code: succeed iff a violation IS found (for \
+               known-negative gates like scenario-smoke).")
+    in
+    let out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "out"; "o" ] ~docv:"FILE"
+            ~doc:
+              "Write the storm outcome (trace, violations, minimized \
+               schedule) as rme-mc-outcome/1 JSON to $(docv).")
+    in
+    let run name stack model n passages seed crash_mean bursty lost_wakeup_mean
+        delay_mean delay_window max_steps epochs no_csr no_shrink
+        expect_violation out =
+      let build = Option.get (Harness.Scenario.find name) in
+      let sc =
+        build
+          {
+            Harness.Scenario.sp_stack = stack;
+            sp_n = n;
+            sp_model = model;
+            sp_passages = passages;
+            sp_check_csr = not no_csr;
+            sp_crash_bound = epochs - 1;
+          }
+      in
+      (* One seeded storm: the schedule supplies steps and crashes, the
+         fault means supply lost wakeups / delayed writes; everything
+         replays from the seed. *)
+      let schedule =
+        let base = Sim.Schedule.uniform ~seed in
+        match crash_mean with
+        | Some mean ->
+          Sim.Schedule.with_random_crashes ~seed:(seed + 1) ~mean ~bursty base
+        | None -> base
+      in
+      let rng = Random.State.make [| 0x5702; seed |] in
+      let decide ~pos ~enabled ~default =
+        if lost_wakeup_mean > 0 && Random.State.int rng lost_wakeup_mean = 0
+        then -(n + 1 + Random.State.int rng n)
+        else if delay_mean > 0 && Random.State.int rng delay_mean = 0 then
+          -((2 * n) + 1 + Random.State.int rng n)
+        else
+          match schedule ~clock:pos ~enabled with
+          | Some (Sim.Schedule.Step pid) -> pid
+          | Some Sim.Schedule.Crash -> Harness.Model_check.crash_decision
+          | Some (Sim.Schedule.Crash_one pid) -> -pid
+          | None -> default
+      in
+      let rp =
+        Harness.Model_check.run_schedule ~max_steps ~delay_window ~decide sc
+      in
+      Printf.printf
+        "storm: %d steps, %d crashes, %d independent crashes, %s\n"
+        rp.Harness.Model_check.rp_steps rp.Harness.Model_check.rp_crashes
+        rp.Harness.Model_check.rp_crash_ones
+        (if rp.Harness.Model_check.rp_deadlock then "deadlocked"
+         else if rp.Harness.Model_check.rp_capped then "step-capped"
+         else "all done");
+      List.iter
+        (Printf.printf "violation: %s\n")
+        rp.Harness.Model_check.rp_violations;
+      let violated = rp.Harness.Model_check.rp_violations <> [] in
+      let minimized =
+        if violated && not no_shrink then begin
+          let m =
+            Harness.Shrink.minimize ~max_steps ~delay_window sc
+              rp.Harness.Model_check.rp_trace
+          in
+          Option.iter (pp_minimized n) m;
+          m
+        end
+        else None
+      in
+      Option.iter
+        (fun file ->
+          let open Sim.Json in
+          let doc =
+            Obj
+              [
+                ("schema", Str Harness.Report.mc_outcome_schema);
+                ( "config",
+                  Obj
+                    [
+                      ("scenario", Str name);
+                      ("stack", Str stack);
+                      ( "model",
+                        Str (Format.asprintf "%a" Sim.Memory.pp_model model) );
+                      ("n", Int n);
+                      ("passages", Int passages);
+                      ("seed", Int seed);
+                      ( "crash_mean",
+                        match crash_mean with None -> Null | Some m -> Int m );
+                      ("lost_wakeup_mean", Int lost_wakeup_mean);
+                      ("delay_mean", Int delay_mean);
+                      ("delay_window", Int delay_window);
+                      ("max_steps", Int max_steps);
+                    ] );
+                ( "outcome",
+                  Obj
+                    [
+                      ("runs", Int 1);
+                      ("steps", Int rp.Harness.Model_check.rp_steps);
+                      ( "step_cap_hits",
+                        Int (if rp.Harness.Model_check.rp_capped then 1 else 0)
+                      );
+                      ( "deadlocks",
+                        Int
+                          (if rp.Harness.Model_check.rp_deadlock then 1 else 0)
+                      );
+                      ("truncated", Bool false);
+                      ("distinct_states", Int 0);
+                      ("pruned_runs", Int 0);
+                      ("pruned_branches", Int 0);
+                      ( "violations",
+                        List
+                          (List.map
+                             (fun v -> Str v)
+                             rp.Harness.Model_check.rp_violations) );
+                      ( "witness",
+                        if violated then
+                          List
+                            (Array.to_list
+                               (Array.map
+                                  (fun d -> Int d)
+                                  rp.Harness.Model_check.rp_trace))
+                        else Null );
+                    ] );
+                ("minimized_schedule", minimized_json minimized ~n);
+              ]
+          in
+          write_file file (to_string ~pretty:true doc ^ "\n"))
+        out;
+      if violated <> expect_violation then 1 else 0
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run one seeded storm (crashes, lost wakeups, delayed-visibility \
+            windows) over a registered scenario; violating traces are \
+            minimized before reporting.")
+      Term.(
+        const run $ name_pos $ stack_arg $ model_arg $ n_arg $ passages_arg
+        $ seed_arg $ crash_mean $ bursty $ lost_wakeup_mean $ delay_mean
+        $ delay_window $ max_steps $ epochs $ no_csr $ no_shrink
+        $ expect_violation $ out)
+  in
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:
+         "Work with the shared scenario registry: list, describe, or storm \
+          any registered scenario.")
+    [ list_cmd; describe_cmd; run_cmd ]
 
 (* --- trace --- *)
 
@@ -565,4 +922,5 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "rme" ~version:"1.0.0" ~doc)
-          [ list_cmd; run_cmd; model_check_cmd; trace_cmd; native_cmd ]))
+          [ list_cmd; run_cmd; model_check_cmd; scenario_cmd; trace_cmd;
+            native_cmd ]))

@@ -26,6 +26,7 @@ type outcome = {
   distinct_states : int;
   pruned_runs : int;
   pruned_branches : int;
+  witness : int array option;
 }
 
 type ctx = {
@@ -43,8 +44,47 @@ type scenario = {
 }
 
 (* Decisions are encoded as ints: pid > 0 is a step, 0 is a system-wide
-   crash, -pid is an independent crash of that process. *)
+   crash, -pid is an independent crash of that process. Forced schedules
+   ({!run_schedule}) extend the negative range with the injectable
+   faults: -(n+pid) suppresses pid's pending await (lost wakeup) and
+   -(2n+pid) arms pid's next write with a delayed-visibility window. The
+   extended codes are scenario-relative (they depend on [n]); [explore]
+   never branches over them — faults enter only through explicit
+   schedules. *)
 let crash_decision = 0
+
+type decision =
+  | Step of int
+  | Crash
+  | Crash_one of int
+  | Lose_wakeup of int
+  | Delay_writes of int
+
+let decision_of_int ~n d =
+  if d > 0 && d <= n then Step d
+  else if d = crash_decision then Crash
+  else if d < 0 && -d <= n then Crash_one (-d)
+  else if d < 0 && -d <= 2 * n then Lose_wakeup (-d - n)
+  else if d < 0 && -d <= 3 * n then Delay_writes (-d - (2 * n))
+  else
+    invalid_arg
+      (Printf.sprintf "Model_check.decision_of_int: %d out of range for n=%d" d
+         n)
+
+let int_of_decision ~n = function
+  | Step pid -> pid
+  | Crash -> crash_decision
+  | Crash_one pid -> -pid
+  | Lose_wakeup pid -> -(n + pid)
+  | Delay_writes pid -> -((2 * n) + pid)
+
+let describe_decision ~n d =
+  match decision_of_int ~n d with
+  | Step pid -> Printf.sprintf "step p%d" pid
+  | Crash -> "crash"
+  | Crash_one pid -> Printf.sprintf "crash p%d" pid
+  | Lose_wakeup pid -> Printf.sprintf "lose-wakeup p%d" pid
+  | Delay_writes pid -> Printf.sprintf "delay-writes p%d" pid
 
 (* A work item shares its parent run's trace array: replay [base.(0 ..
    cut - 1)], then [alt] (unless it is [no_alt]), then scheduler defaults.
@@ -119,6 +159,7 @@ type run_result = {
   r_por_skips : int;  (* commuting branches not emitted *)
   r_violations : string list;  (* in occurrence order *)
   r_children : item list;  (* in push order *)
+  r_trace : int array;  (* the full decision sequence this run took *)
 }
 
 let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
@@ -374,6 +415,154 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
     r_por_skips = !por_skips;
     r_violations = List.rev !local_violations;
     r_children = List.rev !children;
+    r_trace = trace;
+  }
+
+(* --- forced-schedule replay (storms and counterexample shrinking) --- *)
+
+type replay_report = {
+  rp_steps : int;
+  rp_trace : int array;
+  rp_interventions : (int * int) list;
+  rp_violations : string list;
+  rp_first_violation_pos : int option;
+  rp_deadlock : bool;
+  rp_capped : bool;
+  rp_crashes : int;
+  rp_crash_ones : int;
+}
+
+(* Replays one schedule driven by [decide] instead of tree search: same
+   default policy, same deadlock/cap verdicts as [replay], but decisions
+   come from a callback and may include the extended fault codes. An
+   inapplicable decision (stepping a finished process, suppressing a
+   process not at an await, ...) degrades to the default step — so probe
+   replays during shrinking stay total and deterministic even when
+   removing an early intervention invalidates a later one. *)
+let run_schedule ?(max_steps = 20_000) ?(delay_window = 8) ~decide scenario =
+  let n = scenario.n in
+  let local_violations = ref [] in
+  let first_violation_pos = ref None in
+  let pos = ref 0 in
+  let violation msg =
+    if !first_violation_pos = None then first_violation_pos := Some !pos;
+    local_violations := msg :: !local_violations
+  in
+  let mem = Memory.create ~model:scenario.model ~n in
+  let crash_hooks = ref [] in
+  let crash_one_hooks = ref [] in
+  let finish_hooks = ref [] in
+  let ctx =
+    {
+      violation;
+      on_crash = (fun h -> crash_hooks := h :: !crash_hooks);
+      on_crash_one = (fun h -> crash_one_hooks := h :: !crash_one_hooks);
+      on_finish = (fun h -> finish_hooks := h :: !finish_hooks);
+      on_fingerprint = (fun _ -> () (* no visited set on forced replays *));
+    }
+  in
+  let body = scenario.make_body mem ctx in
+  let rt = Runtime.create mem ~body in
+  List.iter (Runtime.on_crash rt) !crash_hooks;
+  let taken = ref [] in
+  let interventions = ref [] in
+  let cur = ref 0 in
+  let crashes = ref 0 in
+  let crash_ones = ref 0 in
+  let capped = ref false in
+  let deadlock = ref false in
+  let pmask = Bitset.create n in
+  let stop = ref false in
+  while not !stop do
+    match Runtime.enabled rt with
+    | [] -> stop := true
+    | enabled ->
+      Bitset.clear pmask;
+      List.iter
+        (fun p -> if not (Runtime.blocked rt p) then Bitset.add pmask p)
+        enabled;
+      if Bitset.is_empty pmask && Runtime.drain_faults rt then
+        (* A buffered write was the only way forward: flushing it may
+           unblock a spinner, so re-evaluate before calling deadlock. *)
+        ()
+      else if Bitset.is_empty pmask then begin
+        deadlock := true;
+        let where =
+          String.concat ", "
+            (List.map
+               (fun p ->
+                 Printf.sprintf "p%d@%s" p
+                   (Option.value ~default:"?" (Runtime.blocked_on rt p)))
+               enabled)
+        in
+        violation ("deadlock: " ^ where);
+        stop := true
+      end
+      else if !pos >= max_steps then begin
+        capped := true;
+        violation "step cap exceeded (possible livelock)";
+        stop := true
+      end
+      else begin
+        let default_pid =
+          if Bitset.mem pmask !cur then !cur
+          else
+            match Bitset.first_gt pmask !cur with
+            | Some pid -> pid
+            | None -> Option.get (Bitset.first pmask)
+        in
+        let want = decide ~pos:!pos ~enabled ~default:default_pid in
+        let d =
+          if want = crash_decision then want
+          else if want > 0 then
+            if want <= n && Runtime.runnable rt want then want else default_pid
+          else begin
+            let neg = -want in
+            if neg <= n then
+              if Runtime.runnable rt neg then want else default_pid
+            else if neg <= 2 * n then
+              if Runtime.awaiting rt (neg - n) then want else default_pid
+            else if neg <= 3 * n then
+              if Runtime.runnable rt (neg - (2 * n)) then want
+              else default_pid
+            else default_pid
+          end
+        in
+        if d <> default_pid then interventions := (!pos, d) :: !interventions;
+        (if d = crash_decision then begin
+           incr crashes;
+           Runtime.crash rt ()
+         end
+         else if d > 0 then begin
+           Runtime.step rt d;
+           cur := d
+         end
+         else
+           let neg = -d in
+           if neg <= n then begin
+             incr crash_ones;
+             Runtime.crash_one rt neg;
+             List.iter (fun h -> h ~pid:neg) !crash_one_hooks
+           end
+           else if neg <= 2 * n then ignore (Runtime.lose_wakeup rt (neg - n))
+           else Runtime.delay_writes rt (neg - (2 * n)) ~window:delay_window);
+        taken := d :: !taken;
+        incr pos
+      end
+  done;
+  (* Finish checks run on every non-capped end, deadlocks included —
+     exactly [replay]'s policy (there is no pruning here). *)
+  if not !capped then List.iter (fun h -> h ()) !finish_hooks;
+  {
+    rp_steps = !pos;
+    rp_trace = Array.of_list (List.rev !taken);
+    rp_interventions = List.rev !interventions;
+    rp_violations = List.rev !local_violations;
+    rp_first_violation_pos = !first_violation_pos;
+    rp_deadlock = !deadlock;
+    rp_capped = !capped;
+    rp_crashes = !crashes;
+    rp_crash_ones = !crash_ones;
   }
 
 (* The search frontier, head = top of the DFS stack. In parallel mode an
@@ -425,6 +614,12 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
   let deadlocks = ref 0 in
   let pruned_runs = ref 0 in
   let pruned_branches = ref 0 in
+  (* First committed violating run's decision sequence. Commits happen in
+     sequential DFS order, so under [No_reduction] the witness is
+     identical for any [jobs]; under reduction with [jobs > 1] the racing
+     visited set may change which run violates first, but any captured
+     witness still replays to a violation via {!run_schedule}. *)
+  let witness = ref None in
   let record_violation msg =
     if
       !violation_count < max_recorded_violations
@@ -437,6 +632,7 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
   in
   let commit r =
     incr runs;
+    if !witness = None && r.r_violations <> [] then witness := Some r.r_trace;
     steps := !steps + r.r_steps;
     if r.r_capped then incr step_cap_hits;
     if r.r_deadlock then incr deadlocks;
@@ -517,6 +713,7 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
         c);
     pruned_runs = !pruned_runs;
     pruned_branches = !pruned_branches;
+    witness = !witness;
   }
 
 let pp_outcome ppf o =

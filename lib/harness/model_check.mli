@@ -90,6 +90,11 @@ type outcome = {
   pruned_branches : int;
       (** preemption branches skipped by partial-order reduction ([Por]
           only) *)
+  witness : int array option;
+      (** the decision sequence of the first {e committed} violating run,
+          replayable via {!run_schedule} (and minimizable via
+          {!Shrink.minimize}). Commits are in sequential DFS order, so
+          under [No_reduction] the witness is identical for any [jobs]. *)
 }
 
 (** A checkable scenario: [make_body] builds the per-process program and
@@ -177,3 +182,81 @@ val explore :
     their spins. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {2 Decisions and forced-schedule replay}
+
+    The search encodes decisions as plain ints: [pid > 0] steps that
+    process, [0] is a system-wide crash, [-pid] an independent crash.
+    Forced schedules extend the negative range with the injectable
+    faults of {!Sim.Runtime}: [-(n+pid)] is a lost wakeup of [pid]'s
+    pending await, [-(2n+pid)] arms a delayed-visibility window on
+    [pid]'s next write. The fault codes are scenario-relative (they
+    depend on [n]); {!explore} never branches over them — faults enter
+    runs only through explicit schedules ({!Scenario}'s storms, or a
+    replayed trace). *)
+
+type decision =
+  | Step of int
+  | Crash
+  | Crash_one of int
+  | Lose_wakeup of int
+  | Delay_writes of int
+
+val crash_decision : int
+(** The integer code of {!Crash} ([0]). *)
+
+val decision_of_int : n:int -> int -> decision
+(** @raise Invalid_argument when the code is out of range for [n]. *)
+
+val int_of_decision : n:int -> decision -> int
+
+val describe_decision : n:int -> int -> string
+(** Human-readable form of one decision code, e.g. ["step p2"],
+    ["crash"], ["lose-wakeup p3"]. *)
+
+(** What one forced replay did. *)
+type replay_report = {
+  rp_steps : int;  (** decisions executed (fault armings included) *)
+  rp_trace : int array;  (** the decision sequence actually taken *)
+  rp_interventions : (int * int) list;
+      (** [(pos, decision)] where the taken decision differed from the
+          default — the schedule's information content: replaying just
+          these over the default policy reproduces [rp_trace] *)
+  rp_violations : string list;  (** in occurrence order *)
+  rp_first_violation_pos : int option;
+      (** trace position at which the first violation was recorded
+          (= [rp_steps] for finish-hook violations) *)
+  rp_deadlock : bool;
+  rp_capped : bool;
+  rp_crashes : int;
+  rp_crash_ones : int;
+}
+
+val run_schedule :
+  ?max_steps:int ->
+  ?delay_window:int ->
+  decide:(pos:int -> enabled:int list -> default:int -> int) ->
+  scenario ->
+  replay_report
+(** [run_schedule ~decide scenario] executes one run of [scenario] where
+    every decision comes from [decide ~pos ~enabled ~default] —
+    [enabled] being the runnable processes (spin-blocked included, as
+    {!Sim.Schedule} schedulers expect) and [default] the same
+    run-until-blocked policy {!explore} uses, so
+    [decide = fun ~pos:_ ~enabled:_ ~default -> default] is exactly the
+    default schedule. Decisions the current state cannot honour (stepping a
+    finished process, suppressing a process not at an await, a fault
+    code out of range) degrade to the default step, keeping replays
+    total and deterministic — the property counterexample shrinking
+    relies on when removing an early intervention invalidates a later
+    one. Unlike {!explore} there are no budgets and no visited set:
+    [ctx.on_fingerprint] registrations are accepted and ignored.
+
+    Deadlock detection first drains any held store buffers
+    ({!Sim.Runtime.drain_faults}): a system wedged only behind a
+    delayed write is a visibility stall, not a deadlock.
+
+    [max_steps] defaults to [20_000] (same cap and same "step cap
+    exceeded" violation as {!explore}); [delay_window] (default [8]) is
+    the visibility window, in clock ticks, that a [Delay_writes]
+    decision arms. *)

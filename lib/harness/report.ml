@@ -164,3 +164,110 @@ let validate_bench json =
   match m with
   | Obj _ -> Ok ()
   | _ -> Error "metrics: expected an object"
+
+(* --- the model-check outcome JSON schema --- *)
+
+let mc_outcome_schema = "rme-mc-outcome/1"
+
+let validate_mc_outcome json =
+  let open Sim.Json in
+  let ( let* ) r f = Result.bind r f in
+  let need what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing %s" what)
+  in
+  let str what = function
+    | Str s -> Ok s
+    | _ -> Error (Printf.sprintf "%s: expected a string" what)
+  in
+  let int_ what = function
+    | Int _ -> Ok ()
+    | _ -> Error (Printf.sprintf "%s: expected an integer" what)
+  in
+  let bool_ what = function
+    | Bool _ -> Ok ()
+    | _ -> Error (Printf.sprintf "%s: expected a boolean" what)
+  in
+  let str_list what = function
+    | List xs when List.for_all (function Str _ -> true | _ -> false) xs ->
+      Ok ()
+    | _ -> Error (Printf.sprintf "%s: expected an array of strings" what)
+  in
+  let int_list what = function
+    | List xs when List.for_all (function Int _ -> true | _ -> false) xs ->
+      Ok ()
+    | _ -> Error (Printf.sprintf "%s: expected an array of integers" what)
+  in
+  let* schema = need "schema" (member "schema" json) in
+  let* schema = str "schema" schema in
+  let* () =
+    if schema = mc_outcome_schema then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema: expected %S, got %S" mc_outcome_schema schema)
+  in
+  let* config = need "config" (member "config" json) in
+  let* () =
+    match config with
+    | Obj _ -> Ok ()
+    | _ -> Error "config: expected an object"
+  in
+  let* o = need "outcome" (member "outcome" json) in
+  let* () =
+    match o with Obj _ -> Ok () | _ -> Error "outcome: expected an object"
+  in
+  let* () =
+    List.fold_left
+      (fun acc key ->
+        let* () = acc in
+        let what = "outcome." ^ key in
+        let* v = need what (member key o) in
+        int_ what v)
+      (Ok ())
+      [
+        "runs"; "steps"; "step_cap_hits"; "deadlocks"; "distinct_states";
+        "pruned_runs"; "pruned_branches";
+      ]
+  in
+  let* truncated = need "outcome.truncated" (member "truncated" o) in
+  let* () = bool_ "outcome.truncated" truncated in
+  let* violations = need "outcome.violations" (member "violations" o) in
+  let* () = str_list "outcome.violations" violations in
+  let* () =
+    match member "witness" o with
+    | None | Some Null -> Ok ()
+    | Some w -> int_list "outcome.witness" w
+  in
+  (* The minimized schedule is Null when the search was clean (or
+     shrinking was disabled); otherwise its trace must replay the
+     violation, so both the decision array and the interventions it was
+     reduced to are mandatory. *)
+  match member "minimized_schedule" json with
+  | None -> Error "missing minimized_schedule (use Null when absent)"
+  | Some Null -> Ok ()
+  | Some ms ->
+    let* trace = need "minimized_schedule.trace" (member "trace" ms) in
+    let* () = int_list "minimized_schedule.trace" trace in
+    let* vs = need "minimized_schedule.violations" (member "violations" ms) in
+    let* () = str_list "minimized_schedule.violations" vs in
+    let* steps = need "minimized_schedule.steps" (member "steps" ms) in
+    let* () = int_ "minimized_schedule.steps" steps in
+    let* probes = need "minimized_schedule.probes" (member "probes" ms) in
+    let* () = int_ "minimized_schedule.probes" probes in
+    let* ivs =
+      need "minimized_schedule.interventions" (member "interventions" ms)
+    in
+    (match ivs with
+    | List xs ->
+      List.fold_left
+        (fun acc iv ->
+          let* () = acc in
+          let* pos = need "interventions[].pos" (member "pos" iv) in
+          let* () = int_ "interventions[].pos" pos in
+          let* d = need "interventions[].decision" (member "decision" iv) in
+          let* () = int_ "interventions[].decision" d in
+          let* m = need "interventions[].meaning" (member "meaning" iv) in
+          let* _ = str "interventions[].meaning" m in
+          Ok ())
+        (Ok ()) xs
+    | _ -> Error "minimized_schedule.interventions: expected an array")

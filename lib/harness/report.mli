@@ -58,6 +58,18 @@ val validate_bench : Sim.Json.t -> (unit, string) result
 (** Check a parsed [BENCH_E<k>.json] document against {!bench_schema}:
     required keys, table shape (string cells), and a metrics object. *)
 
+val mc_outcome_schema : string
+(** Schema identifier stamped into every [model-check --out] /
+    [scenario run --out] JSON ("rme-mc-outcome/1"). *)
+
+val validate_mc_outcome : Sim.Json.t -> (unit, string) result
+(** Check a parsed model-check outcome document against
+    {!mc_outcome_schema}: config object, integer outcome counters,
+    string violations, an optional integer [witness] array, and a
+    [minimized_schedule] that is either [Null] or carries the minimized
+    decision trace, its [(pos, decision, meaning)] interventions, and
+    the shrinking statistics (DESIGN.md §5.16). *)
+
 val f1 : float -> string
 (** Format a float with one decimal. *)
 

@@ -1,0 +1,228 @@
+(** [Scenario.Builder]: composable checkable workloads (DESIGN.md §5.16).
+
+    A scenario is assembled from a {e workload} (the per-process program,
+    exposing template points as {!probes}) and a list of {e monitor sets}
+    (reusable checkers: mutual exclusion, CSR, lost-update, barrier
+    spec). {!to_scenario} wires them into a {!Model_check.scenario}:
+    monitor crash / independent-crash / finish hooks are combined and
+    registered only when some monitor defines them, and — the point of
+    the exercise — every monitor's verdict refs and arrays are folded
+    into a single automatically registered [ctx.on_fingerprint] hook
+    ({!Sim.Encode.mix_refs} over refs in monitor order, then
+    {!Sim.Encode.mix_array} over arrays), eliminating the DESIGN.md
+    §5.13 footgun where a forgotten registration lets [--reduce
+    dedup|por] merge two monitor-distinct states and prune a violation.
+
+    Instantiation order is part of the contract: the workload allocates
+    its shared cells first, monitor sets second, in list order — which
+    is how the stock compositions reproduce the legacy scenarios'
+    Memory cell ids and fingerprints byte-identically.
+
+    Failure schedules: beyond {!Model_check.explore}'s systematic
+    crashes, {!storm} drives a single seeded run combining a
+    {!Sim.Schedule.t} (steps, system-wide crashes, independent crashes)
+    with the injectable faults of {!Sim.Runtime} — lost wakeups and
+    delayed-visibility windows — and returns the decision trace, which
+    {!Shrink.minimize} can reduce to a minimal counterexample. *)
+
+open Sim
+
+(** The template points a workload offers to monitors. For a lock
+    workload: [starting] before [enter], [entered] just after, [in_cs]
+    inside the critical section (this is where the lost-update monitor
+    increments the protected counter), [exiting] before [exit]. A
+    barrier workload uses [starting]/[entered] around its round. All
+    calls are plain OCaml unless a monitor deliberately performs
+    {!Sim.Proc} operations (only the lost-update monitor does). *)
+type probes = {
+  starting : pid:int -> epoch:int -> unit;
+  entered : pid:int -> epoch:int -> unit;
+  in_cs : pid:int -> epoch:int -> unit;
+  exiting : pid:int -> epoch:int -> unit;
+}
+
+(** One checker. Every field is optional except the name; [m_fp_refs]
+    and [m_fp_arrays] are the verdict-relevant state that must reach the
+    state fingerprint, and are registered automatically. [m_counters]
+    are named statistics for {!storm} reports — deliberately {e not}
+    fingerprinted (they never influence behaviour or verdicts). *)
+type monitor = {
+  mon_name : string;
+  m_starting : (pid:int -> epoch:int -> unit) option;
+  m_entered : (pid:int -> epoch:int -> unit) option;
+  m_in_cs : (pid:int -> epoch:int -> unit) option;
+  m_exiting : (pid:int -> epoch:int -> unit) option;
+  m_crashed : (epoch:int -> unit) option;
+  m_crashed_one : (pid:int -> unit) option;
+  m_finished : (unit -> unit) option;
+  m_fp_refs : int ref list;
+  m_fp_arrays : int array list;
+  m_counters : (string * int ref) list;
+}
+
+val blank : name:string -> monitor
+(** A monitor with every hook unset — the base for [{ (blank ~name) with
+    ... }] literals. *)
+
+type monitor_set = Memory.t -> violation:(string -> unit) -> monitor list
+(** Monitors are instantiated per run. A set may return several wired
+    monitors (e.g. {!mutex_monitors}'s mutex and CSR checkers share the
+    occupant's fate) and may allocate shared cells (the lost-update
+    counter). *)
+
+type workload_inst = {
+  w_arrays : int array list;
+      (** progress arrays mixed into the fingerprint after all monitor
+          refs/arrays *)
+  w_body : probes -> pid:int -> epoch:int -> unit;
+}
+
+type workload = Memory.t -> workload_inst
+
+type t
+(** A builder scenario: [n], memory model, workload, monitor sets. *)
+
+val v :
+  n:int ->
+  model:Memory.model ->
+  workload:workload ->
+  monitors:monitor_set list ->
+  t
+
+val to_scenario : t -> Model_check.scenario
+
+(** {2 Stock monitor sets and workloads} *)
+
+val mutex_monitors : ?check_csr:bool -> unit -> monitor_set
+(** Occupancy-based mutual exclusion plus critical-section re-entry:
+    on a crash the CS occupant (if any) becomes the expected re-entrant;
+    the next entry by anyone else is a CSR violation when [check_csr]
+    (default true). Counters: ["me-violations"], ["csr-violations"],
+    ["csr-reentries"]. *)
+
+val lost_update_monitor : unit -> monitor_set
+(** Allocates the shared ["mc.protected"] counter, increments it inside
+    the CS ([in_cs] — the only monitor probe that performs {!Sim.Proc}
+    operations), and checks at the end of a run that no increment was
+    lost. Counter: ["lost-updates"]. *)
+
+val barrier_spec : leader_of:(epoch:int -> int) -> monitor_set
+(** Definition 3.1(i): no call may return before the leader's call has
+    begun in this epoch. *)
+
+val rme_passages :
+  passages:int -> make:(Memory.t -> Rme.Rme_intf.rme) -> workload
+(** Each process performs [passages] recover/enter/CS/exit passages over
+    the lock [make] builds; the per-process completion array survives
+    crashes and feeds the fingerprint. *)
+
+val rounds :
+  epochs:int ->
+  leader_of:(epoch:int -> int) ->
+  make_enter:
+    (Memory.t -> pid:int -> epoch:int -> lid:int -> leader:bool -> unit) ->
+  workload
+(** Barrier-style workload: at most one [make_enter] call per process
+    per epoch, [epochs] rounds total. *)
+
+(** {2 Stock compositions} (the four legacy scenarios, as builders) *)
+
+val rme_lock :
+  ?passages:int ->
+  ?check_csr:bool ->
+  n:int ->
+  model:Memory.model ->
+  make:(Memory.t -> Rme.Rme_intf.rme) ->
+  unit ->
+  t
+
+val mutex_lock :
+  ?passages:int ->
+  n:int ->
+  model:Memory.model ->
+  make:(Memory.t -> Locks.Lock_intf.mutex) ->
+  unit ->
+  t
+
+val barrier_rounds : ?epochs:int -> n:int -> model:Memory.model -> unit -> t
+
+val barrier_sub_rounds : ?lid:int -> n:int -> model:Memory.model -> unit -> t
+
+(** {2 Seeded storms} *)
+
+type storm_report = {
+  st_trace : int array;
+      (** the full decision sequence taken — replayable via
+          {!Model_check.run_schedule}, minimizable via {!Shrink} *)
+  st_steps : int;
+  st_crashes : int;
+  st_crash_ones : int;
+  st_violations : string list;
+  st_deadlock : bool;
+  st_capped : bool;
+  st_all_done : bool;  (** neither deadlocked nor step-capped *)
+  st_counters : (string * int) list;  (** all monitors' counters *)
+}
+
+val counter : storm_report -> string -> int
+(** Sum of every counter with that name (0 if absent). *)
+
+val storm :
+  ?max_steps:int ->
+  ?delay_window:int ->
+  ?lost_wakeup_mean:int ->
+  ?delay_mean:int ->
+  seed:int ->
+  schedule:Schedule.t ->
+  t ->
+  storm_report
+(** One seeded storm run: decisions come from [schedule] (its [None]
+    falls back to the default run-until-blocked policy), preceded by
+    seeded fault injections — with probability [1/lost_wakeup_mean] per
+    position a random process's pending await is suppressed, with
+    probability [1/delay_mean] a random process's next write gets a
+    [delay_window]-tick visibility window (defaults 0 = never). Fully
+    deterministic given [seed] and the schedule's own seed.
+    [max_steps] defaults to [2_000_000], matching the legacy driver
+    storms. *)
+
+(** {2 The scenario registry}
+
+    One shared name table for every consumer — [rme_cli scenario
+    list/describe/run], [rme_cli model-check --scenario], and bench
+    rosters — so a newly registered scenario appears everywhere at
+    once. *)
+
+type params = {
+  sp_stack : string;  (** registry lock-stack name (when applicable) *)
+  sp_n : int;
+  sp_model : Memory.model;
+  sp_passages : int;
+  sp_check_csr : bool;
+  sp_crash_bound : int;
+      (** the exploration's crash budget; the barrier scenario derives
+          [epochs = crash_bound + 1] from it *)
+}
+
+val default_params : params
+(** [{ sp_stack = "t3-mcs"; sp_n = 3; sp_model = Cc; sp_passages = 1;
+      sp_check_csr = true; sp_crash_bound = 0 }] — override fields with
+    [{ default_params with ... }]. *)
+
+type info = { i_name : string; i_summary : string; i_needs_stack : bool }
+
+val register :
+  name:string ->
+  summary:string ->
+  needs_stack:bool ->
+  (params -> Model_check.scenario) ->
+  unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val find : string -> (params -> Model_check.scenario) option
+val info : string -> info option
+val names : unit -> string list
+(** Registration order. Stock entries: ["rme"], ["mutex"], ["barrier"],
+    ["barrier-sub"]. *)
+
+val infos : unit -> info list

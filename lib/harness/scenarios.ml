@@ -1,104 +1,17 @@
-open Sim
+(* Thin facade over {!Scenario}'s builder compositions. The hand-rolled
+   bodies that used to live here are now assembled from reusable
+   monitors and workloads; test/test_scenario.ml pins that the builder
+   forms produce byte-identical verdicts and distinct_states against
+   in-test copies of the legacy code, across every reduction level. *)
 
-let rme ?(passages = 1) ?(check_csr = true) ~n ~model ~make () =
-  let make_body mem (ctx : Model_check.ctx) =
-    let lock = make mem in
-    let counter = Memory.global mem ~name:"mc.protected" 0 in
-    let completed = Array.make (n + 1) 0 in
-    let occupant = ref 0 in
-    let csr_owner = ref 0 in
-    let cs_done = ref 0 in
-    ctx.on_crash (fun ~epoch:_ ->
-        if !occupant <> 0 then csr_owner := !occupant;
-        occupant := 0);
-    ctx.on_crash_one (fun ~pid ->
-        if !occupant = pid then begin
-          csr_owner := pid;
-          occupant := 0
-        end);
-    ctx.on_finish (fun () ->
-        if Memory.peek counter <> !cs_done then
-          ctx.violation
-            (Printf.sprintf "lost update: counter=%d, completions=%d"
-               (Memory.peek counter) !cs_done));
-    (* Monitor state lives outside shared memory, so the reduction
-       engine cannot see it — states equal in memory+runtime but with
-       different monitor verdict-state must not be merged. *)
-    ctx.on_fingerprint (fun () ->
-        Encode.mix_array
-          (Encode.mix (Encode.mix (Encode.mix Encode.fingerprint_seed
-                                     !occupant) !csr_owner) !cs_done)
-          completed);
-    fun ~pid ~epoch ->
-      while completed.(pid) < passages do
-        lock.Rme.Rme_intf.recover ~pid ~epoch;
-        lock.Rme.Rme_intf.enter ~pid ~epoch;
-        if !occupant <> 0 then
-          ctx.violation
-            (Printf.sprintf "mutual exclusion: p%d entered while p%d in CS"
-               pid !occupant);
-        occupant := pid;
-        if !csr_owner <> 0 then
-          if !csr_owner = pid then csr_owner := 0
-          else if check_csr then
-            ctx.violation
-              (Printf.sprintf "CSR: p%d entered before crashed owner p%d" pid
-                 !csr_owner);
-        let v = Proc.read counter in
-        Proc.write counter (v + 1);
-        occupant := 0;
-        incr cs_done;
-        lock.Rme.Rme_intf.exit ~pid ~epoch;
-        completed.(pid) <- completed.(pid) + 1
-      done
-  in
-  { Model_check.n; model; make_body }
+let rme ?passages ?check_csr ~n ~model ~make () =
+  Scenario.to_scenario (Scenario.rme_lock ?passages ?check_csr ~n ~model ~make ())
 
 let mutex ?passages ~n ~model ~make () =
-  rme ?passages ~check_csr:false ~n ~model
-    ~make:(fun mem -> Rme.Rme_intf.of_mutex (make mem))
-    ()
+  Scenario.to_scenario (Scenario.mutex_lock ?passages ~n ~model ~make ())
 
-let barrier_generic ~epochs ~n ~model ~leader_of ~make_enter =
-  let make_body mem (ctx : Model_check.ctx) =
-    let enter = make_enter mem in
-    (* Rounds completed per process; a crash moves everyone to the next
-       epoch, so processes whose round was interrupted retry it there. *)
-    let completed = Array.make (n + 1) 0 in
-    let leader_begun = ref (-1) in
-    ctx.on_fingerprint (fun () ->
-        Encode.mix_array
-          (Encode.mix Encode.fingerprint_seed !leader_begun)
-          completed);
-    fun ~pid ~epoch ->
-      while
-        completed.(pid) < epochs
-        && completed.(pid) < epoch (* at most one call per epoch *)
-      do
-        let lid = leader_of ~epoch in
-        if pid = lid then leader_begun := epoch;
-        enter ~pid ~epoch ~lid ~leader:(pid = lid);
-        if !leader_begun < epoch then
-          ctx.violation
-            (Printf.sprintf
-               "barrier spec (i): p%d's call returned in epoch %d before \
-                the leader began"
-               pid epoch);
-        completed.(pid) <- completed.(pid) + 1
-      done
-  in
-  { Model_check.n; model; make_body }
+let barrier ?epochs ~n ~model () =
+  Scenario.to_scenario (Scenario.barrier_rounds ?epochs ~n ~model ())
 
-let barrier ?(epochs = 1) ~n ~model () =
-  barrier_generic ~epochs ~n ~model
-    ~leader_of:(fun ~epoch:_ -> 1)
-    ~make_enter:(fun mem ->
-      let b = Rme.Barrier.create mem ~name:"mc.bar" in
-      fun ~pid ~epoch ~lid:_ ~leader -> Rme.Barrier.enter b ~pid ~epoch ~leader)
-
-let barrier_sub ?(lid = 1) ~n ~model () =
-  barrier_generic ~epochs:1 ~n ~model
-    ~leader_of:(fun ~epoch:_ -> lid)
-    ~make_enter:(fun mem ->
-      let b = Rme.Barrier_sub.create mem ~name:"mc.bsub" in
-      fun ~pid ~epoch ~lid ~leader:_ -> Rme.Barrier_sub.enter b ~pid ~epoch ~lid)
+let barrier_sub ?lid ~n ~model () =
+  Scenario.to_scenario (Scenario.barrier_sub_rounds ?lid ~n ~model ())

@@ -43,6 +43,8 @@ let fingerprint_seed = 0x1A2B3C4D5E6F
 
 let mix_array h a = Array.fold_left mix h a
 
+let mix_refs h refs = List.fold_left (fun h r -> mix h !r) h refs
+
 (* Zobrist-style per-slot contribution: [zobrist slot v] hashes the pair
    (slot, v) so that XOR-combining one contribution per live slot forms
    an incrementally updatable digest — changing slot [s] from [v] to

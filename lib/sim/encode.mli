@@ -47,6 +47,13 @@ val mix : int -> int -> int
 val mix_array : int -> int array -> int
 (** [mix_array h a] folds every element of [a] into [h], in index order. *)
 
+val mix_refs : int -> int ref list -> int
+(** [mix_refs h refs] folds the current value of every ref into [h], in
+    list order: [mix_refs h [a; b]] = [mix (mix h !a) !b]. The combinator
+    behind {!Harness.Scenario}'s automatic [on_fingerprint] registration
+    of monitor verdict refs, replacing per-scenario hand-rolled
+    [mix (mix ...)] chains. *)
+
 val fingerprint_seed : int
 (** Canonical initial accumulator for a fingerprint fold. *)
 

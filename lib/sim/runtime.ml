@@ -26,6 +26,38 @@ type slot =
   | Waiting of status  (** suspended at a shared-memory operation *)
   | Finished  (** body returned; stays done until the next crash *)
 
+(* Injectable-fault state ({!Scenario}'s failure schedules), allocated
+   lazily by the first injection so fault-free runs keep [t.faults =
+   None] and every hot path pays exactly one physical-equality check —
+   the digest math, schedules and golden trace stay byte-identical to
+   the fault-free engine.
+
+   Lost wakeup: [susp.(pid)] marks a pending await whose wakeup was
+   dropped. The process reports as spin-blocked even if its condition
+   holds, until the watched cell's value {e changes} from the one
+   recorded at injection (a fresh write re-delivers the signal), the
+   process crashes, or it is explicitly stepped (a spurious re-check).
+
+   Delayed visibility: [armed.(pid) >= 0] diverts pid's next plain write
+   into a one-slot store buffer for that many clock ticks. While
+   buffered, the write is invisible to every process — pid included: its
+   own next shared-memory operation drains the buffer first, like a
+   fence, so it can never read its own stale past. A system-wide crash
+   (and an independent crash of pid) DISCARDS the buffer: the write
+   never reached persistence, which is exactly the delayed-NVRAM-
+   visibility failure the paper's model abstracts away. *)
+type faults = {
+  susp : bool array; (* 1-based, like every per-process array here *)
+  susp_cell : Memory.cell option array;
+  susp_v : int array;
+  susp_cell2 : Memory.cell option array;
+  susp_v2 : int array;
+  armed : int array; (* -1 = unarmed; else the visibility window *)
+  buf_cell : Memory.cell option array;
+  buf_v : int array;
+  buf_due : int array;
+}
+
 type t = {
   mem : Memory.t;
   n : int;
@@ -56,6 +88,7 @@ type t = {
   fresh_fp : int;
   mutable fp : int;
   mutable fp_live : bool;
+  mutable faults : faults option;
 }
 
 let handler : (unit, status) Effect.Deep.handler =
@@ -125,7 +158,75 @@ let create ?(initial_epoch = 1) mem ~body =
     fresh_fp = !fresh_fp;
     fp = 0;
     fp_live = false;
+    faults = None;
   }
+
+(* --- injectable faults --- *)
+
+let get_faults t =
+  match t.faults with
+  | Some f -> f
+  | None ->
+    let f =
+      {
+        susp = Array.make (t.n + 1) false;
+        susp_cell = Array.make (t.n + 1) None;
+        susp_v = Array.make (t.n + 1) 0;
+        susp_cell2 = Array.make (t.n + 1) None;
+        susp_v2 = Array.make (t.n + 1) 0;
+        armed = Array.make (t.n + 1) (-1);
+        buf_cell = Array.make (t.n + 1) None;
+        buf_v = Array.make (t.n + 1) 0;
+        buf_due = Array.make (t.n + 1) 0;
+      }
+    in
+    t.faults <- Some f;
+    f
+
+let clear_susp f pid =
+  f.susp.(pid) <- false;
+  f.susp_cell.(pid) <- None;
+  f.susp_cell2.(pid) <- None
+
+(* A suppressed await stays lost only while the watched value(s) still
+   equal the ones recorded at injection: any later write that changes a
+   watched cell models a fresh signal, which re-delivers the wakeup. *)
+let watch_unchanged f pid =
+  (match f.susp_cell.(pid) with
+  | Some c -> Memory.peek c = f.susp_v.(pid)
+  | None -> true)
+  && match f.susp_cell2.(pid) with
+     | Some c -> Memory.peek c = f.susp_v2.(pid)
+     | None -> true
+
+let flush_buf t f pid =
+  match f.buf_cell.(pid) with
+  | None -> ()
+  | Some c ->
+    f.buf_cell.(pid) <- None;
+    ignore (Memory.exec_write t.mem ~pid c f.buf_v.(pid))
+
+let clear_faults_of t pid =
+  match t.faults with
+  | None -> ()
+  | Some f ->
+    clear_susp f pid;
+    f.armed.(pid) <- -1;
+    f.buf_cell.(pid) <- None (* the buffered write is LOST, not flushed *)
+
+(* Housekeeping executed before each step: publish store buffers whose
+   visibility window has elapsed, and retire suppressions whose watched
+   cell has been re-signalled. Deterministic in the decision sequence. *)
+let fault_tick t =
+  match t.faults with
+  | None -> ()
+  | Some f ->
+    for pid = 1 to t.n do
+      (match f.buf_cell.(pid) with
+      | Some _ when t.clock >= f.buf_due.(pid) -> flush_buf t f pid
+      | Some _ | None -> ());
+      if f.susp.(pid) && not (watch_unchanged f pid) then clear_susp f pid
+    done
 
 let memory t = t.mem
 let n t = t.n
@@ -143,7 +244,14 @@ let runnable t pid =
 (* A process is spin-blocked if its pending operation is an await whose
    condition does not currently hold: stepping it re-reads the cell(s) but
    cannot change any value, so it is unproductive until someone writes. *)
+let suppressed t pid =
+  match t.faults with
+  | None -> false
+  | Some f -> f.susp.(pid) && watch_unchanged f pid
+
 let blocked t pid =
+  suppressed t pid
+  ||
   match t.slots.(pid) with
   | Fresh | Finished -> false
   | Waiting st -> (
@@ -161,9 +269,11 @@ let blocked_on t pid =
   | Waiting st -> (
     match st with
     | Sus_await (c, pred, _) ->
-      if pred (Memory.peek c) then None else Some (Memory.name c)
+      if pred (Memory.peek c) && not (suppressed t pid) then None
+      else Some (Memory.name c)
     | Sus_await2 (c1, c2, pred, _) ->
-      if pred (Memory.peek c1) (Memory.peek c2) then None
+      if pred (Memory.peek c1) (Memory.peek c2) && not (suppressed t pid) then
+        None
       else Some (Memory.name c1 ^ "+" ^ Memory.name c2)
     | Returned | Sus_read _ | Sus_write _ | Sus_cas _ | Sus_fas _ | Sus_faa _
     | Sus_fasas _ ->
@@ -187,16 +297,35 @@ let start t pid =
    same continuation: the read was charged, the process stays put. *)
 let advance t ~pid st =
   let consume v = t.local_sig.(pid) <- Encode.mix t.local_sig.(pid) v in
+  (* A held store buffer drains before any further operation by its
+     owner (fence semantics): the process can never observe shared
+     memory ahead of its own unpublished write. *)
+  (match t.faults with
+  | Some f -> ( match f.buf_cell.(pid) with Some _ -> flush_buf t f pid | None -> ())
+  | None -> ());
   match st with
   | Returned -> Returned
   | Sus_read (c, k) ->
     let v = Memory.exec_read t.mem ~pid c in
     consume v;
     Effect.Deep.continue k v
-  | Sus_write (c, v, k) ->
-    let v = Memory.exec_write t.mem ~pid c v in
-    consume v;
-    Effect.Deep.continue k v
+  | Sus_write (c, v, k) -> (
+    match t.faults with
+    | Some f when f.armed.(pid) >= 0 ->
+      (* Delayed visibility: park the write in the store buffer. The
+         fiber proceeds as if it wrote (same consumed value, same
+         continuation), but shared memory — and its RMR accounting —
+         is untouched until the buffer flushes. *)
+      f.buf_cell.(pid) <- Some c;
+      f.buf_v.(pid) <- v;
+      f.buf_due.(pid) <- t.clock + f.armed.(pid);
+      f.armed.(pid) <- -1;
+      consume v;
+      Effect.Deep.continue k v
+    | _ ->
+      let v = Memory.exec_write t.mem ~pid c v in
+      consume v;
+      Effect.Deep.continue k v)
   | Sus_cas (c, expect, repl, k) ->
     let v = Memory.exec_cas t.mem ~pid c ~expect ~repl in
     consume v;
@@ -242,6 +371,13 @@ let[@inline] contribution t pid =
     t.local_sig.(pid)
 
 let step t pid =
+  (match t.faults with
+  | None -> ()
+  | Some f ->
+    fault_tick t;
+    (* Explicitly stepping a suppressed process models a spurious
+       re-check: the wakeup is re-delivered and the await re-reads. *)
+    if f.susp.(pid) then clear_susp f pid);
   t.clock <- t.clock + 1;
   match t.slots.(pid) with
   | Finished -> invalid_arg "Runtime.step: process is not runnable"
@@ -278,6 +414,7 @@ let discontinue_status st =
 
 let crash_one t pid =
   if pid < 1 || pid > t.n then invalid_arg "Runtime.crash_one: bad pid";
+  clear_faults_of t pid;
   t.clock <- t.clock + 1;
   if t.fp_live then t.fp <- t.fp lxor contribution t pid;
   (match t.slots.(pid) with
@@ -289,6 +426,14 @@ let crash_one t pid =
 
 let crash t ?(bump = 1) () =
   if bump < 1 then invalid_arg "Runtime.crash: bump must be >= 1";
+  (* Suppressions die with the fibers; buffered writes are DISCARDED —
+     they were still in flight to persistence when the system failed. *)
+  (match t.faults with
+  | None -> ()
+  | Some _ ->
+    for pid = 1 to t.n do
+      clear_faults_of t pid
+    done);
   t.clock <- t.clock + 1;
   t.crashes <- t.crashes + 1;
   for pid = 1 to t.n do
@@ -316,9 +461,32 @@ let resync t =
   t.fp <- !acc;
   t.fp_live <- true
 
+(* Armed faults are scheduler-relevant state (they change [blocked] and
+   future writes), so they must distinguish fingerprints. Folded at read
+   time — never armed on model-checking searches, so the incremental
+   digest path is untouched there. *)
+let faults_digest t h =
+  match t.faults with
+  | None -> h
+  | Some f ->
+    let acc = ref h in
+    for pid = 1 to t.n do
+      let s = if f.susp.(pid) && watch_unchanged f pid then 1 else 0 in
+      let b, v, due =
+        match f.buf_cell.(pid) with
+        | Some c -> (Memory.id c + 1, f.buf_v.(pid), f.buf_due.(pid) - t.clock)
+        | None -> (0, 0, 0)
+      in
+      acc :=
+        Encode.mix
+          (Encode.mix (Encode.mix (Encode.mix (Encode.mix !acc s) b) v) due)
+          (max f.armed.(pid) (-1))
+    done;
+    !acc
+
 let fingerprint t =
   if not t.fp_live then resync t;
-  Encode.mix (Encode.mix Encode.fingerprint_seed t.epoch) t.fp
+  faults_digest t (Encode.mix (Encode.mix Encode.fingerprint_seed t.epoch) t.fp)
 
 (* Recomputes the per-process contributions from scratch, spelled out
    via [Encode.zobrist] rather than the cached [zp] keys — the
@@ -333,7 +501,63 @@ let fingerprint_slow t =
              (Encode.zobrist (lnot pid) (slot_tag t.slots.(pid)))
              t.local_sig.(pid)
   done;
-  Encode.mix (Encode.mix Encode.fingerprint_seed t.epoch) !acc
+  faults_digest t (Encode.mix (Encode.mix Encode.fingerprint_seed t.epoch) !acc)
+
+(* --- fault-injection API ({!Scenario}'s failure schedules) --- *)
+
+let awaiting t pid =
+  pid >= 1 && pid <= t.n
+  &&
+  match t.slots.(pid) with
+  | Waiting (Sus_await _ | Sus_await2 _) -> true
+  | Fresh | Finished | Waiting _ -> false
+
+let lose_wakeup t pid =
+  if pid < 1 || pid > t.n then invalid_arg "Runtime.lose_wakeup: bad pid";
+  match t.slots.(pid) with
+  | Waiting (Sus_await (c, _, _)) ->
+    let f = get_faults t in
+    f.susp.(pid) <- true;
+    f.susp_cell.(pid) <- Some c;
+    f.susp_v.(pid) <- Memory.peek c;
+    f.susp_cell2.(pid) <- None;
+    true
+  | Waiting (Sus_await2 (c1, c2, _, _)) ->
+    let f = get_faults t in
+    f.susp.(pid) <- true;
+    f.susp_cell.(pid) <- Some c1;
+    f.susp_v.(pid) <- Memory.peek c1;
+    f.susp_cell2.(pid) <- Some c2;
+    f.susp_v2.(pid) <- Memory.peek c2;
+    true
+  | Fresh | Finished | Waiting _ -> false
+
+let delay_writes t pid ~window =
+  if pid < 1 || pid > t.n then invalid_arg "Runtime.delay_writes: bad pid";
+  if window < 1 then invalid_arg "Runtime.delay_writes: window must be >= 1";
+  (get_faults t).armed.(pid) <- window
+
+let drain_faults t =
+  match t.faults with
+  | None -> false
+  | Some f ->
+    let any = ref false in
+    for pid = 1 to t.n do
+      (match f.buf_cell.(pid) with
+      | Some _ ->
+        flush_buf t f pid;
+        any := true
+      | None -> ());
+      (* A suppressed await can only delay, never kill: every await in
+         this codebase is a poll loop, so the process eventually
+         re-checks (a spurious wakeup). Model that here rather than
+         letting a lost wakeup masquerade as a deadlock. *)
+      if f.susp.(pid) && watch_unchanged f pid then begin
+        clear_susp f pid;
+        any := true
+      end
+    done;
+    !any
 
 let step_footprint t pid =
   if pid < 1 || pid > t.n then invalid_arg "Runtime.step_footprint: bad pid";

@@ -85,6 +85,52 @@ val on_crash : t -> (epoch:int -> unit) -> unit
     are destroyed and the epoch advanced. Monitors use this to reset
     volatile bookkeeping. *)
 
+(** {2 Injectable faults}
+
+    Two fault classes beyond the paper's crash steps, armed explicitly by
+    failure schedules ({!Harness.Scenario}); fault-free runs keep the
+    machinery unallocated and every hot path byte-identical.
+
+    {b Lost wakeup} ({!lose_wakeup}): a process suspended at an await is
+    marked suppressed — it stays {!blocked} even when its predicate
+    holds, modelling a missed futex-style wakeup. The suppression clears
+    when any watched cell's {e value changes} from the one recorded at
+    arming time (a fresh write is a fresh wakeup), when the process is
+    explicitly stepped (a spurious wakeup: the await re-checks its
+    predicate), or when the process crashes.
+
+    {b Delayed visibility} ({!delay_writes}): the process's next plain
+    write is parked in a one-slot store buffer for [window] clock ticks
+    instead of reaching shared memory. The writer proceeds as if it
+    wrote; other processes cannot observe the value until the buffer
+    flushes (at the first {!step} once the window elapses). The owner's
+    own next shared-memory operation drains the buffer first (fence
+    semantics — no process observes memory ahead of its own write). A
+    crash — system-wide or {!crash_one} of the owner — {e discards} the
+    buffered write: it never reached persistent memory. *)
+
+val lose_wakeup : t -> int -> bool
+(** [lose_wakeup t pid] suppresses [pid]'s pending await, if it is
+    suspended at one; returns whether a suppression was armed. *)
+
+val delay_writes : t -> int -> window:int -> unit
+(** [delay_writes t pid ~window] arms [pid]'s next plain write to be held
+    in its store buffer for [window] clock ticks ([window >= 1]). Only
+    plain writes divert; read-modify-write operations stay atomic. *)
+
+val drain_faults : t -> bool
+(** Flush every held store buffer immediately (regardless of deadline)
+    and clear every still-active await suppression (a spurious wakeup);
+    returns whether anything changed. Scheduler loops call this before
+    declaring deadlock — a system wedged only behind a buffered write or
+    a lost wakeup is a visibility stall, not a deadlock: every await in
+    this codebase is a poll loop, so a lost wakeup can delay a process
+    but never kill it. *)
+
+val awaiting : t -> int -> bool
+(** [awaiting t pid] is true iff [pid] is suspended at an await (whether
+    or not its condition holds) — i.e. {!lose_wakeup} would arm. *)
+
 val fingerprint : t -> int
 (** A deterministic hash of the runtime's control state: the epoch plus,
     per process, its slot kind (fresh / suspended / finished) and its

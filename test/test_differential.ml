@@ -50,22 +50,23 @@ let no_duplicate_keys () =
 (* --- same storm, both substrates --- *)
 
 let differential_storm ?(model = Sim.Memory.Cc) ~check_csr stack () =
-  (* Simulated substrate: seeded bursty crash storm through the driver
-     with its full monitor set. *)
-  let sim_passages = 150 in
+  (* Simulated substrate: seeded bursty crash storm through the Scenario
+     builder with its full monitor set (the same monitors E8/E9/E12
+     use). *)
   let sim_report =
-    run_stack ~n:4 ~passages:sim_passages
+    storm_stack ~n:4 ~passages:150
       ~schedule:(storm ~seed:7 ~mean:400 ())
       ~model stack
   in
-  assert_clean (stack ^ " sim storm") sim_report;
+  assert_storm_clean (stack ^ " sim storm") sim_report;
   Alcotest.(check bool)
     (stack ^ " sim: every process finished")
-    true sim_report.Harness.Driver.all_done;
+    true sim_report.Harness.Scenario.st_all_done;
   if check_csr then
     Alcotest.(check int)
       (stack ^ " sim: zero CSR violations")
-      0 sim_report.Harness.Driver.csr_violations;
+      0
+      (Harness.Scenario.counter sim_report "csr-violations");
   (* Native substrate: the same transcription on real domains, seeded
      crash schedule, online monitors. *)
   let n = 4 in

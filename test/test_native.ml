@@ -246,7 +246,7 @@ let native_storms () =
           ()
       in
       assert_native_clean (stack ^ " storm") r)
-    [ "t1-mcs"; "t1-ya"; "t2-mcs"; "t3-mcs"; "frf-mcs"; "t1-ticket" ]
+    storm_roster
 
 let native_csr_stacks_hold_csr () =
   List.iter
@@ -271,7 +271,7 @@ let native_csr_stacks_hold_csr () =
       done;
       if !reentries = 0 then
         Alcotest.failf "%s: storms never crashed anyone inside the CS" stack)
-    [ "t2-mcs"; "t3-mcs" ]
+    csr_storm_roster
 
 let native_distributed_barrier_storm () =
   let r =

@@ -6,7 +6,8 @@
 open Sim
 open Testutil
 
-let protected_stacks = [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "t1-ya"; "t1-ticket" ]
+(* [protected_stacks], [csr_storm_roster] come from Testutil — shared
+   with the native suite's storm gauntlet. *)
 
 (* --- Safety and progress under crash storms --- *)
 
@@ -16,14 +17,14 @@ let storms_are_clean stack () =
       List.iter
         (fun seed ->
           let r =
-            run_stack ~model ~n:5 ~passages:40 ~max_steps:4_000_000
+            storm_stack ~model ~n:5 ~passages:40
               ~schedule:(storm ~seed ~mean:350 ())
               stack
           in
-          assert_clean
+          assert_storm_clean
             (Printf.sprintf "%s %s seed=%d" stack (model_tag model) seed)
             r;
-          if r.Harness.Driver.crashes = 0 then
+          if r.Harness.Scenario.st_crashes = 0 then
             Alcotest.failf "storm injected no crashes (seed %d)" seed)
         [ 1; 2; 3 ])
     models
@@ -33,11 +34,31 @@ let bursty_storms_are_clean () =
   List.iter
     (fun stack ->
       let r =
-        run_stack ~model:Memory.Dsm ~n:4 ~passages:30 ~max_steps:4_000_000
+        storm_stack ~model:Memory.Dsm ~n:4 ~passages:30
           ~schedule:(storm ~bursty:true ~seed:77 ~mean:150 ())
           stack
       in
-      assert_clean (stack ^ " bursty") r)
+      assert_storm_clean (stack ^ " bursty") r)
+    [ "t1-mcs"; "t3-mcs" ]
+
+let faulty_storms_are_clean () =
+  (* The new injectable faults (DESIGN.md §5.16): lost wakeups on
+     [B.await] and delayed-visibility windows on plain writes. The
+     stacks must stay correct — a suppressed await is exactly a long
+     spin miss, and a delayed write is a legal CC/DSM reordering the
+     crash model already forces them to survive. *)
+  List.iter
+    (fun stack ->
+      List.iter
+        (fun seed ->
+          let r =
+            storm_stack ~model:Memory.Cc ~n:4 ~passages:25 ~seed
+              ~lost_wakeup_mean:40 ~delay_mean:50
+              ~schedule:(storm ~seed ~mean:300 ())
+              stack
+          in
+          assert_storm_clean (Printf.sprintf "%s faulty seed=%d" stack seed) r)
+        [ 1; 2 ])
     [ "t1-mcs"; "t3-mcs" ]
 
 let epoch_skipping_is_tolerated () =
@@ -111,11 +132,11 @@ let single_process_stacks () =
       List.iter
         (fun stack ->
           let r =
-            run_stack ~model ~n:1 ~passages:20 ~max_steps:1_000_000
+            storm_stack ~model ~n:1 ~passages:20 ~max_steps:1_000_000
               ~schedule:(storm ~seed:5 ~mean:60 ())
               stack
           in
-          assert_clean (stack ^ " n=1") r)
+          assert_storm_clean (stack ^ " n=1") r)
         protected_stacks)
     models
 
@@ -156,7 +177,7 @@ let t2_t3_provide_csr () =
             Alcotest.failf "%s %s: %a" stack (model_tag model)
               Harness.Model_check.pp_outcome o)
         models)
-    [ "t2-mcs"; "t3-mcs" ]
+    csr_storm_roster
 
 let csr_under_storms () =
   (* Statistically: storms crash processes inside the CS; T2/T3 must never
@@ -167,19 +188,21 @@ let csr_under_storms () =
       List.iter
         (fun seed ->
           let r =
-            run_stack ~model:Memory.Cc ~n:5 ~passages:50 ~max_steps:4_000_000
+            storm_stack ~model:Memory.Cc ~n:5 ~passages:50
               ~schedule:(storm ~seed ~mean:250 ())
               stack
           in
-          assert_clean (stack ^ " csr storm") r;
+          assert_storm_clean (stack ^ " csr storm") r;
           Alcotest.(check int)
             (Printf.sprintf "%s zero CSR violations (seed %d)" stack seed)
-            0 r.Harness.Driver.csr_violations;
-          total_reentries := !total_reentries + r.Harness.Driver.csr_reentries)
+            0
+            (Harness.Scenario.counter r "csr-violations");
+          total_reentries :=
+            !total_reentries + Harness.Scenario.counter r "csr-reentries")
         [ 1; 2; 3; 4 ];
       if !total_reentries = 0 then
         Alcotest.fail "storms never exercised CS re-entry")
-    [ "t2-mcs"; "t3-mcs" ]
+    csr_storm_roster
 
 let t1_csr_violations_do_happen () =
   (* The complementary observation: with enough storm seeds the bare T1
@@ -188,11 +211,11 @@ let t1_csr_violations_do_happen () =
     List.exists
       (fun seed ->
         let r =
-          run_stack ~model:Memory.Cc ~n:5 ~passages:50 ~max_steps:4_000_000
+          storm_stack ~model:Memory.Cc ~n:5 ~passages:50
             ~schedule:(storm ~seed ~mean:250 ())
             "t1-mcs"
         in
-        r.Harness.Driver.csr_violations > 0)
+        Harness.Scenario.counter r "csr-violations" > 0)
       [ 1; 2; 3; 4; 5; 6 ]
   in
   Alcotest.(check bool) "T1 violates CSR somewhere" true violated
@@ -305,11 +328,11 @@ let frf_only_storms () =
   List.iter
     (fun model ->
       let r =
-        run_stack ~model ~n:5 ~passages:40 ~max_steps:4_000_000
+        storm_stack ~model ~n:5 ~passages:40
           ~schedule:(storm ~seed:21 ~mean:300 ())
           "frf-mcs"
       in
-      assert_clean ("frf-mcs " ^ model_tag model) r)
+      assert_storm_clean ("frf-mcs " ^ model_tag model) r)
     models
 
 (* --- Weak starvation freedom (Theorem 4.8) --- *)
@@ -472,11 +495,11 @@ let nofast_variants_still_correct () =
   List.iter
     (fun stack ->
       let r =
-        run_stack ~model:Memory.Dsm ~n:4 ~passages:30 ~max_steps:4_000_000
+        storm_stack ~model:Memory.Dsm ~n:4 ~passages:30
           ~schedule:(storm ~seed:13 ~mean:300 ())
           stack
       in
-      assert_clean (stack ^ " nofast") r)
+      assert_storm_clean (stack ^ " nofast") r)
     [ "t1-mcs-nofast"; "t3-mcs-nofast" ]
 
 let nofast_costs_more () =
@@ -501,18 +524,19 @@ let independent_failures_wedge_the_stacks () =
       List.iter
         (fun seed ->
           let r =
-            run_stack ~model:Memory.Cc ~n:5 ~passages:40 ~max_steps:400_000
+            storm_stack ~model:Memory.Cc ~n:5 ~passages:40 ~max_steps:400_000
               ~schedule:
                 (Schedule.with_individual_crashes ~seed ~mean:400 ~n:5
                    (Schedule.uniform ~seed:(seed * 3)))
               stack
           in
           Alcotest.(check int) (stack ^ " stays safe") 0
-            r.Harness.Driver.me_violations;
+            (Harness.Scenario.counter r "me-violations");
           Alcotest.(check int)
             (stack ^ " no lost updates")
-            r.Harness.Driver.cs_completions r.Harness.Driver.counter_value;
-          if not r.Harness.Driver.all_done then incr wedged)
+            0
+            (Harness.Scenario.counter r "lost-updates");
+          if not r.Harness.Scenario.st_all_done then incr wedged)
         [ 1; 2; 3 ];
       if !wedged = 0 then
         Alcotest.failf
@@ -590,6 +614,7 @@ let () =
           protected_stacks
         @ [
             case "bursty" bursty_storms_are_clean;
+            slow_case "faulty" faulty_storms_are_clean;
             case "epoch-skipping" epoch_skipping_is_tolerated;
             case "large-n" large_n_sanity;
             case "single-process" single_process_stacks;
