@@ -1,7 +1,7 @@
 # Tier-1 verification plus the parallel-engine smoke test. `make ci` is
 # what .github/workflows/ci.yml runs; keep the two in sync.
 
-.PHONY: all build test differential bench-smoke scenario-smoke e10-smoke e13-smoke e14-smoke trace-sample validate baselines deep-check ci clean
+.PHONY: all build test differential bench-smoke scenario-smoke e10-smoke e13-smoke e14-smoke e15-smoke trace-sample validate baselines deep-check ci clean
 
 all: build
 
@@ -35,6 +35,7 @@ bench-smoke: build
 	dune exec bench/validate.exe -- --baseline bench/baselines \
 	  BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json
 	$(MAKE) e14-smoke
+	$(MAKE) e15-smoke
 	$(MAKE) scenario-smoke
 
 # The Scenario-builder gate (DESIGN.md §5.16): a quick storm over every
@@ -64,8 +65,9 @@ scenario-smoke: build
 baselines: build
 	dune exec bench/main.exe -- e1 e9 e12 e13 --jobs 2
 	dune exec bench/main.exe -- e14 --quick
+	dune exec bench/main.exe -- e15 --quick
 	cp BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json \
-	  BENCH_E14.json bench/baselines/
+	  BENCH_E14.json BENCH_E15.json bench/baselines/
 
 # The nightly deep model-check: the E9/E12 roster's algorithm stacks at
 # larger bounds than CI's smoke run can afford, made tractable by
@@ -96,6 +98,9 @@ deep-check: build
 	dune exec bench/main.exe -- e14
 	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E14.json
 	cp BENCH_E14.json deep-check/
+	dune exec bench/main.exe -- e15
+	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E15.json
+	cp BENCH_E15.json deep-check/
 
 # Standalone schema check over whatever BENCH_E*.json are lying around.
 validate: build
@@ -124,6 +129,17 @@ e13-smoke: build
 e14-smoke: build
 	dune exec bench/main.exe -- e14 --quick
 	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E14.json
+
+# E15 at reduced budgets: the sharded service under Zipf traffic with its
+# in-code gates (deterministic replay, allocation-free passage path,
+# skew-driven batching — any gate failing exits non-zero before the JSON
+# is written), then the schema + baseline diff. Like E14, the captured
+# table carries only deterministic cells (E15's rows always generate the
+# full-budget traffic and serve a seeded prefix of it), so quick and full
+# runs gate against the same committed expectation.
+e15-smoke: build
+	dune exec bench/main.exe -- e15 --quick
+	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E15.json
 
 # A small Perfetto-loadable trace of T1(MCS) under a crash storm — CI
 # uploads it as an artifact so a run's behaviour can be eyeballed.

@@ -1252,7 +1252,194 @@ let native_substrate_ablation () =
         "pass" ];
     ]
 
-(* E10/E13/E14 deliberately ignore the pool: they spawn their own worker
+(* E15: the sharded lock-service workload — a table of a million logical
+   RME locks hashed onto 1024 shards, served by batching clients over 4
+   worker domains under seeded Zipf traffic (DESIGN.md §5.17).
+
+   The E14 capture discipline applies: requests/s, latency percentiles
+   and drain times are machine-dependent, so the captured table holds
+   only deterministic cells — safety counters, the exactly-once bit, the
+   drill's drained bit and the replay bit. Every row generates its
+   traffic at the FULL budget and serves a prefix ([--quick] shrinks only
+   the prefix), and the captured cells are budget-independent booleans
+   and zero-counters, so a quick run gates byte-identically against the
+   full-run baseline. The perf claims are in-code gates that abort the
+   run (no JSON written) when they fail. *)
+let service_workload () =
+  let full_budget = 50_000 in
+  let per_worker = if !quick then 5_000 else full_budget in
+  let probe_budget = if !quick then 5_000 else 20_000 in
+  let n = 4 and keys = 1_000_000 and shards = 1_024 and batch = 16 in
+  let run ?(stack = "t3-mcs") ?(theta = 0.99) ?(rate_rps = 0.)
+      ?drill_after ?alloc_probe ?keys:(k = keys) ?shards:(s = shards)
+      ?n:(nw = n) ?per_worker:(pw = per_worker) ?traffic_budget () =
+    let r =
+      Rme_service.Loadgen.run ~stack ~theta ~rate_rps ?drill_after
+        ?alloc_probe ?traffic_budget ~seed:15 ~batch ~shards:s ~n:nw ~keys:k
+        ~per_worker:pw ()
+    in
+    (match Rme_service.Loadgen.check_clean r with
+    | Ok () -> ()
+    | Error e ->
+      failwith
+        (Printf.sprintf "E15 %s θ=%.2f rate=%.0f: %s" stack theta rate_rps e));
+    r
+  in
+  let req_per_s (r : Rme_service.Loadgen.result) =
+    float_of_int (Rme_service.Loadgen.total_served r)
+    /. Float.max 1e-9 r.Rme_service.Loadgen.elapsed
+  in
+  (* The grid: uniform and skewed saturating rows, plus a paced open-loop
+     row (arrival→completion latency) and the crash-recovery drill under
+     the hottest configuration. Labels are part of the captured rows. *)
+  let grid =
+    [
+      ("t1-mcs", 0.0, 0., None);
+      ("t3-mcs", 0.0, 0., None);
+      ("t3-mcs", 0.99, 0., None);
+      ("t3-mcs", 0.99, 20_000., None);
+      ("t3-mcs", 0.99, 0., Some 0.05);
+    ]
+  in
+  let results =
+    List.map
+      (fun (stack, theta, rate_rps, drill_after) ->
+        let r =
+          run ~stack ~theta ~rate_rps ?drill_after
+            ~traffic_budget:full_budget ()
+        in
+        let tag =
+          Printf.sprintf "e15.%s.theta%.2f%s%s" stack theta
+            (if rate_rps > 0. then ".paced" else "")
+            (if drill_after <> None then ".drill" else "")
+        in
+        Report.metric ~name:(tag ^ ".req_per_s") (Sim.Json.Float (req_per_s r));
+        Report.metric ~name:(tag ^ ".latency_ns")
+          (Stats.to_json r.Rme_service.Loadgen.latency_ns);
+        Option.iter
+          (fun (d : Rme_service.Loadgen.drill_report) ->
+            Report.metric ~name:(tag ^ ".drill_drain_s")
+              (Sim.Json.Float d.Rme_service.Loadgen.d_drain_s);
+            Report.metric ~name:(tag ^ ".drill_hot_shards")
+              (Sim.Json.Int d.Rme_service.Loadgen.d_hot))
+          r.Rme_service.Loadgen.drill;
+        ((stack, theta, rate_rps, drill_after), r))
+      grid
+  in
+  (* Replay gate: the service must be bit-deterministic for a fixed seed.
+     Re-run the cheapest row and require identical per-shard counts and
+     traffic fingerprints. *)
+  let replay_base = run ~stack:"t1-mcs" ~theta:0.0 ~traffic_budget:full_budget ()
+  and replay_again =
+    run ~stack:"t1-mcs" ~theta:0.0 ~traffic_budget:full_budget ()
+  in
+  let replays =
+    replay_base.Rme_service.Loadgen.traffic_fingerprint
+    = replay_again.Rme_service.Loadgen.traffic_fingerprint
+    && replay_base.Rme_service.Loadgen.shard_served
+       = replay_again.Rme_service.Loadgen.shard_served
+  in
+  Report.metric ~name:"e15.replays" (Sim.Json.Bool replays);
+  Report.table
+    ~title:
+      "E15: sharded lock service, 1M logical locks on 1024 shards, 4 \
+       workers, batch 16 (deterministic columns only — requests/s, \
+       latency and drain times live in the metrics and the in-code \
+       gates; DESIGN.md §5.17)"
+    ~header:
+      [
+        "stack"; "θ"; "arrivals"; "crashes"; "ME viol"; "lost updates";
+        "served exactly"; "drill drained"; "replays"; "clean";
+      ]
+    (List.map
+       (fun ((stack, theta, rate_rps, drill_after), r) ->
+         [
+           stack;
+           Printf.sprintf "%.2f" theta;
+           (if rate_rps > 0. then "open-loop" else "saturating");
+           string_of_int r.Rme_service.Loadgen.crashes;
+           string_of_int r.Rme_service.Loadgen.me_violations;
+           string_of_int r.Rme_service.Loadgen.lost_update_shards;
+           (if Rme_service.Loadgen.served_exactly r then "yes" else "NO");
+           (match (drill_after, r.Rme_service.Loadgen.drill) with
+           | None, _ -> "n/a"
+           | Some _, Some d ->
+             if
+               d.Rme_service.Loadgen.d_drained = d.Rme_service.Loadgen.d_hot
+             then "yes"
+             else "NO"
+           | Some _, None -> "NO");
+           (if replays then "yes" else "NO");
+           "yes";
+         ])
+       results);
+  (* Uncaptured overview of the machine-dependent numbers, E14-style. *)
+  Report.table ~capture:false
+    ~title:
+      "E15: service throughput and latency (machine-dependent, not \
+       captured)"
+    ~header:[ "stack"; "θ"; "arrivals"; "req/s"; "p50 ns"; "p99 ns"; "passages" ]
+    (List.map
+       (fun ((stack, theta, rate_rps, drill_after), r) ->
+         let h = r.Rme_service.Loadgen.latency_ns in
+         [
+           stack;
+           Printf.sprintf "%.2f" theta;
+           (if rate_rps > 0. then "open-loop"
+            else if drill_after <> None then "sat+drill"
+            else "saturating");
+           Printf.sprintf "%.0f" (req_per_s r);
+           Printf.sprintf "%.0f" (Stats.percentile h 50.);
+           Printf.sprintf "%.0f" (Stats.percentile h 99.);
+           string_of_int r.Rme_service.Loadgen.batches;
+         ])
+       results);
+  (* Gate 1: the lock passage path of the service stack must not allocate.
+     A small key space materializes every shard inside the warmup, so the
+     steady tail measures serving, not installation. *)
+  let probe =
+    run ~stack:"t3-mcs" ~keys:256 ~shards:32 ~n:2 ~per_worker:probe_budget
+      ~traffic_budget:probe_budget ~alloc_probe:true ()
+  in
+  let words =
+    Option.value ~default:Float.infinity
+      probe.Rme_service.Loadgen.alloc_words_per_req
+  in
+  Report.metric ~name:"e15.alloc_words_per_request" (Sim.Json.Float words);
+  (* Gate 2: on the skewed saturating row, batching must actually batch —
+     with θ=0.99 over 1024 shards a 16-slot client sees same-shard
+     duplicates constantly. *)
+  let skewed =
+    List.assoc ("t3-mcs", 0.99, 0., None) results
+  in
+  Report.metric ~name:"e15.skewed_max_batch"
+    (Sim.Json.Int skewed.Rme_service.Loadgen.max_batch);
+  let gate name ok detail =
+    if not ok then
+      failwith (Printf.sprintf "E15 gate failed: %s — %s" name detail)
+  in
+  gate "replay" replays
+    "same seed produced different shard histograms or fingerprints";
+  gate "allocation audit" (words <= 1.0)
+    (Printf.sprintf "%.2f minor words/request, need <= 1.0" words);
+  gate "skewed batching"
+    (skewed.Rme_service.Loadgen.max_batch >= 2)
+    (Printf.sprintf "max batch %d on the θ=0.99 row, need >= 2"
+       skewed.Rme_service.Loadgen.max_batch);
+  Report.table
+    ~title:
+      "E15: service gates (enforced in code before this table prints — a \
+       failing gate aborts the experiment and the bench run)"
+    ~header:[ "gate"; "threshold"; "verdict" ]
+    [
+      [ "seeded replay, per-shard histograms + fingerprints"; "byte-identical";
+        "pass" ];
+      [ "steady-state allocation on the passage path"; "<= 1.0 words/request";
+        "pass" ];
+      [ "client batching under θ=0.99 skew"; "max batch >= 2"; "pass" ];
+    ]
+
+(* E10/E13/E14/E15 deliberately ignore the pool: they spawn their own worker
    domains and measure wall-clock, so sharing cores with bench workers
    would corrupt the numbers. *)
 let all : (string * (pool:Pool.t -> unit)) list =
@@ -1274,4 +1461,5 @@ let all : (string * (pool:Pool.t -> unit)) list =
     ("e12", fun ~pool -> reduction_sweep ~pool ());
     ("e13", fun ~pool:_ -> throughput_sweep ());
     ("e14", fun ~pool:_ -> native_substrate_ablation ());
+    ("e15", fun ~pool:_ -> service_workload ());
   ]

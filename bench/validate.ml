@@ -7,7 +7,9 @@
    Without [--baseline] it parses each file and checks it against its
    declared schema — "rme-bench/1" (Report.validate_bench),
    "rme-native-metrics/1" (Rme_native.Workers.validate_metrics, the
-   files [native --metrics] / [run --metrics] write) or
+   files [native --metrics] / [run --metrics] write),
+   "rme-service-metrics/1" (Rme_service.Loadgen.validate_metrics, the
+   files [service --metrics] writes) or
    "rme-mc-outcome/1" (Report.validate_mc_outcome, the files
    [model-check --out] / [scenario run --out] write); dispatch is on
    the document's "schema" member, and a missing or unknown schema is a
@@ -25,7 +27,8 @@
      byte-for-byte: a safety count drifting from its committed value
      fails the gate even if it "improves";
    - other numeric cells (a trailing '+' truncation marker is stripped)
-     must agree within [--tolerance] (relative, default 0.10);
+     must agree within [--tolerance] (relative, default 0.10; a baseline
+     of exactly 0 compares absolutely — see Report.cell_within_tolerance);
    - remaining cells must match exactly.
 
    Files with no committed baseline are reported and skipped — committing
@@ -60,6 +63,7 @@ let kind_of doc =
   match Sim.Json.member "schema" doc with
   | Some (Sim.Json.Str s) when s = Harness.Report.bench_schema -> Ok `Bench
   | Some (Sim.Json.Str "rme-native-metrics/1") -> Ok `Native
+  | Some (Sim.Json.Str s) when s = Rme_service.Loadgen.schema -> Ok `Service
   | Some (Sim.Json.Str s) when s = Harness.Report.mc_outcome_schema ->
     Ok `Mc_outcome
   | Some (Sim.Json.Str s) -> Error (Printf.sprintf "unknown schema %S" s)
@@ -83,6 +87,7 @@ let parse_doc file =
       let validate =
         match kind with
         | `Native -> Rme_native.Workers.validate_metrics
+        | `Service -> Rme_service.Loadgen.validate_metrics
         | `Bench -> Harness.Report.validate_bench
         | `Mc_outcome -> Harness.Report.validate_mc_outcome
       in
@@ -106,14 +111,7 @@ let safety_header h =
     (fun needle -> contains ~needle h)
     [ "viol"; "lost"; "deadlock"; "wedged"; "finished"; "csr"; "crash" ]
 
-let number_of_cell s =
-  (* Accept the harness's "12345+" truncation marker. *)
-  let s =
-    if String.length s > 0 && s.[String.length s - 1] = '+' then
-      String.sub s 0 (String.length s - 1)
-    else s
-  in
-  float_of_string_opt s
+let number_of_cell = Harness.Report.number_of_cell
 
 (* The validated schema guarantees the shapes destructured here. *)
 let tables doc =
@@ -176,8 +174,11 @@ let compare_tables ~file ~tolerance fresh base =
                       else
                         match (number_of_cell cell, number_of_cell bcell) with
                         | Some f, Some b ->
-                          let scale = Float.max (Float.max (abs_float f) (abs_float b)) 1. in
-                          if abs_float (f -. b) > tolerance *. scale then
+                          if
+                            not
+                              (Harness.Report.cell_within_tolerance ~tolerance
+                                 ~base:b ~fresh:f)
+                          then
                             mismatch
                               "%S / %S: column %S outside tolerance %.2f: %S \
                                -> %S"
@@ -231,6 +232,11 @@ let () =
     | Some doc when kind_of doc = Ok `Native ->
       (* Native metrics carry no machine-independent cells to gate. *)
       Printf.printf "%s: ok (rme-native-metrics/1, schema only)\n" file;
+      true
+    | Some doc when kind_of doc = Ok `Service ->
+      (* Service metrics are machine-dependent throughout; the E15
+         deterministic cells live in its captured bench tables. *)
+      Printf.printf "%s: ok (rme-service-metrics/1, schema only)\n" file;
       true
     | Some doc when kind_of doc = Ok `Mc_outcome ->
       (* Outcome verdicts are gated by the producing command's exit

@@ -5,6 +5,7 @@
      rme run --stack t3-mcs --model dsm -n 8 --crash-mean 300
      rme model-check --scenario rme --stack t2-mcs -n 2 -d 1 -c 1
      rme native --stack t3-mcs -n 4 --crash-interval 1.0
+     rme service --stack t3-mcs -n 4 --keys 1000000 --theta 0.99
 *)
 
 open Cmdliner
@@ -16,6 +17,74 @@ let model_conv =
   in
   Arg.conv (parse, Sim.Memory.pp_model)
 
+(* Numeric flags validate at parse time, the way validate.ml's
+   --tolerance does: a zero process count, a negative crash interval or
+   a NaN window used to be accepted here and fail as an obscure
+   Invalid_argument (or a silent wedge) deep inside the harness. Each
+   wrapper names the constraint in its error message. *)
+
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %s" s))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | Some _ ->
+      Error (`Msg (Printf.sprintf "expected a non-negative integer, got %s" s))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pos_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v > 0. -> Ok v
+    | Some _ ->
+      Error (`Msg (Printf.sprintf "expected a positive finite number, got %s" s))
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let nonneg_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v >= 0. -> Ok v
+    | Some _ ->
+      Error
+        (`Msg (Printf.sprintf "expected a non-negative finite number, got %s" s))
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+(* Probabilities and Zipf skew live in half-open unit ranges; checking
+   here turns Zipf.create's Invalid_argument into a usage error. *)
+let unit_float ~lo_open ~hi_closed =
+  let ok v =
+    Float.is_finite v
+    && (if lo_open then v > 0. else v >= 0.)
+    && if hi_closed then v <= 1. else v < 1.
+  in
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when ok v -> Ok v
+    | Some _ ->
+      Error
+        (`Msg
+           (Printf.sprintf "expected a number in %s0, 1%s, got %s"
+              (if lo_open then "(" else "[")
+              (if hi_closed then "]" else ")")
+              s))
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 let model_arg =
   Arg.(
     value
@@ -23,7 +92,9 @@ let model_arg =
     & info [ "model"; "m" ] ~docv:"MODEL" ~doc:"Cost model: cc or dsm.")
 
 let n_arg =
-  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+  Arg.(
+    value & opt pos_int 4
+    & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
 
 let stack_arg =
   Arg.(
@@ -38,7 +109,7 @@ let seed_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Parallel.Pool.default_jobs ())
+    & opt pos_int (Parallel.Pool.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Worker domains for parallel execution (default: the \
@@ -47,7 +118,7 @@ let jobs_arg =
 
 let passages_arg =
   Arg.(
-    value & opt int 100
+    value & opt pos_int 100
     & info [ "passages"; "p" ] ~doc:"Passages per process.")
 
 let metrics_arg =
@@ -59,6 +130,14 @@ let metrics_arg =
           "Write the run's machine-readable metrics (JSON, including RMR \
            and step histograms) to $(docv). With --replicas, the first \
            seed's metrics are written.")
+
+let spin_policy =
+  Arg.enum
+    [
+      ("backoff", Rme_native.Backoff.Exponential);
+      ("relax", Rme_native.Backoff.Relax);
+      ("spin", Rme_native.Backoff.Spin);
+    ]
 
 let write_file file contents =
   let oc = open_out_bin file in
@@ -86,7 +165,7 @@ let list_cmd =
 let run_cmd =
   let crash_mean =
     Arg.(
-      value & opt (some int) None
+      value & opt (some pos_int) None
       & info [ "crash-mean" ]
           ~doc:"Inject crashes with this mean interval in steps.")
   in
@@ -95,18 +174,19 @@ let run_cmd =
   in
   let bias =
     Arg.(
-      value & opt (some float) None
+      value
+      & opt (some (unit_float ~lo_open:true ~hi_closed:true)) None
       & info [ "bias" ]
           ~doc:"Use a low-ID-biased schedule with this pick probability.")
   in
   let max_steps =
     Arg.(
-      value & opt int 10_000_000
+      value & opt pos_int 10_000_000
       & info [ "max-steps" ] ~doc:"Hard step budget.")
   in
   let replicas =
     Arg.(
-      value & opt int 1
+      value & opt pos_int 1
       & info [ "replicas" ] ~docv:"R"
           ~doc:
             "Run R independent replicas with seeds SEED..SEED+R-1 (on the \
@@ -237,24 +317,27 @@ let model_check_cmd =
              $(b,rme scenario list)).")
   in
   let dbound =
-    Arg.(value & opt int 1 & info [ "d" ] ~doc:"Divergence (preemption) bound.")
+    Arg.(
+      value & opt nonneg_int 1
+      & info [ "d" ] ~doc:"Divergence (preemption) bound.")
   in
   let cbound =
-    Arg.(value & opt int 0 & info [ "c" ] ~doc:"Crash bound.")
+    Arg.(value & opt nonneg_int 0 & info [ "c" ] ~doc:"Crash bound.")
   in
   let cobound =
     Arg.(
-      value & opt int 0
+      value & opt nonneg_int 0
       & info [ "co" ]
           ~doc:
             "Independent single-process crash bound (the Golab-Ramaraju \
              failure model; see experiment E11).")
   in
   let max_runs =
-    Arg.(value & opt int 200_000 & info [ "max-runs" ] ~doc:"Run budget.")
+    Arg.(value & opt pos_int 200_000 & info [ "max-runs" ] ~doc:"Run budget.")
   in
   let passages =
-    Arg.(value & opt int 1 & info [ "passages" ] ~doc:"Passages per process.")
+    Arg.(
+      value & opt pos_int 1 & info [ "passages" ] ~doc:"Passages per process.")
   in
   let no_csr =
     Arg.(
@@ -448,7 +531,7 @@ let scenario_cmd =
   let run_cmd =
     let crash_mean =
       Arg.(
-        value & opt (some int) None
+        value & opt (some pos_int) None
         & info [ "crash-mean" ]
             ~doc:"Inject system-wide crashes with this mean interval in steps.")
     in
@@ -457,7 +540,7 @@ let scenario_cmd =
     in
     let lost_wakeup_mean =
       Arg.(
-        value & opt int 0
+        value & opt nonneg_int 0
         & info [ "lost-wakeup-mean" ] ~docv:"MEAN"
             ~doc:
               "Suppress a random process's pending await (a lost wakeup) \
@@ -465,7 +548,7 @@ let scenario_cmd =
     in
     let delay_mean =
       Arg.(
-        value & opt int 0
+        value & opt nonneg_int 0
         & info [ "delay-mean" ] ~docv:"MEAN"
             ~doc:
               "Arm a delayed-visibility window on a random process's next \
@@ -473,18 +556,18 @@ let scenario_cmd =
     in
     let delay_window =
       Arg.(
-        value & opt int 8
+        value & opt pos_int 8
         & info [ "delay-window" ] ~docv:"TICKS"
             ~doc:"Visibility window for --delay-mean faults, in clock ticks.")
     in
     let max_steps =
       Arg.(
-        value & opt int 2_000_000
+        value & opt pos_int 2_000_000
         & info [ "max-steps" ] ~doc:"Hard step budget for the storm run.")
     in
     let epochs =
       Arg.(
-        value & opt int 1
+        value & opt pos_int 1
         & info [ "epochs" ] ~doc:"Rounds for barrier-style scenarios.")
     in
     let no_csr =
@@ -663,11 +746,11 @@ let scenario_cmd =
 
 let trace_cmd =
   let steps =
-    Arg.(value & opt int 120 & info [ "steps" ] ~doc:"Steps to simulate.")
+    Arg.(value & opt pos_int 120 & info [ "steps" ] ~doc:"Steps to simulate.")
   in
   let crash_every =
     Arg.(
-      value & opt (some int) None
+      value & opt (some pos_int) None
       & info [ "crash-every" ] ~doc:"Inject a crash every K decisions.")
   in
   let format =
@@ -771,12 +854,12 @@ let trace_cmd =
 let native_cmd =
   let crash_interval =
     Arg.(
-      value & opt (some float) None
+      value & opt (some pos_float) None
       & info [ "crash-interval" ] ~doc:"Crash interval in milliseconds.")
   in
   let replicas =
     Arg.(
-      value & opt int 1
+      value & opt pos_int 1
       & info [ "replicas" ] ~docv:"R"
           ~doc:
             "Run R replicas with crash-schedule seeds SEED..SEED+R-1 (on \
@@ -785,7 +868,7 @@ let native_cmd =
   let sample_interval =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some pos_float) None
       & info [ "sample-interval" ] ~docv:"MS"
           ~doc:
             "Arm the passive throughput sampler: record total passages \
@@ -802,17 +885,9 @@ let native_cmd =
              report says how many workers actually landed.")
   in
   let spin =
-    let policy =
-      Arg.enum
-        [
-          ("backoff", Rme_native.Backoff.Exponential);
-          ("relax", Rme_native.Backoff.Relax);
-          ("spin", Rme_native.Backoff.Spin);
-        ]
-    in
     Arg.(
       value
-      & opt policy Rme_native.Backoff.Exponential
+      & opt spin_policy Rme_native.Backoff.Exponential
       & info [ "spin" ] ~docv:"POLICY"
           ~doc:
             "Spin-wait policy between lock re-checks: $(b,backoff) (seeded \
@@ -840,7 +915,7 @@ let native_cmd =
   let run_for =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some pos_float) None
       & info [ "run-for" ] ~docv:"SECONDS"
           ~doc:
             "Stop starting new passages after $(docv) seconds, whatever \
@@ -913,6 +988,167 @@ let native_cmd =
       $ crash_interval $ jobs_arg $ replicas $ sample_interval $ pin $ spin
       $ no_padding $ sync_start $ run_for $ metrics_arg)
 
+(* --- service: the sharded lock-service workload (DESIGN.md §5.17) --- *)
+
+let service_cmd =
+  let keys =
+    Arg.(
+      value & opt pos_int 100_000
+      & info [ "keys" ] ~docv:"K"
+          ~doc:"Logical lock keys in the table (locks materialize lazily).")
+  in
+  let shards =
+    Arg.(
+      value & opt pos_int 1024
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Physical RME locks the keys hash onto.")
+  in
+  let per_worker =
+    Arg.(
+      value & opt pos_int 10_000
+      & info [ "per-worker" ] ~docv:"R"
+          ~doc:"Requests each worker domain serves.")
+  in
+  let theta =
+    Arg.(
+      value
+      & opt (unit_float ~lo_open:false ~hi_closed:false) 0.99
+      & info [ "theta" ] ~docv:"THETA"
+          ~doc:"Zipf skew of the key popularity in [0, 1); 0 is uniform.")
+  in
+  let rate =
+    Arg.(
+      value & opt nonneg_float 0.
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop arrival rate per worker, requests/second (0 = \
+             saturating: the next request is admitted as soon as there is \
+             room). Paced runs report arrival-to-completion latency, \
+             saturating runs admit-to-completion.")
+  in
+  let think_ns =
+    Arg.(
+      value & opt nonneg_int 0
+      & info [ "think-ns" ] ~docv:"NS"
+          ~doc:"Fixed extra think time between a worker's arrivals.")
+  in
+  let batch =
+    Arg.(
+      value & opt pos_int 16
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Client batching capacity, 1..62: pending requests for the \
+             same shard are served under one lock passage.")
+  in
+  let drill_after =
+    Arg.(
+      value
+      & opt (some nonneg_float) None
+      & info [ "drill-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Arm the crash-recovery drill: that many seconds after all \
+             workers are live, declare a system-wide crash (epoch bump) \
+             and measure the time-to-drain of the recovery barrier \
+             across the shards that were hot at the bump.")
+  in
+  let drill_timeout =
+    Arg.(
+      value & opt pos_float 30.
+      & info [ "drill-timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up waiting for the drill to drain after this long.")
+  in
+  let traffic_budget =
+    Arg.(
+      value
+      & opt (some pos_int) None
+      & info [ "traffic-budget" ] ~docv:"R"
+          ~doc:
+            "Generate streams of $(docv) requests per worker (>= \
+             --per-worker) and serve only the prefix — a shrunk run \
+             replays a prefix of the full workload, so deterministic \
+             cells match across budgets.")
+  in
+  let alloc_probe =
+    Arg.(
+      value & flag
+      & info [ "alloc-probe" ]
+          ~doc:
+            "Measure worker 1's minor allocation per steady-tail served \
+             request (arm on drill-free runs; the lock passage path is \
+             gated allocation-free).")
+  in
+  let pin =
+    Arg.(
+      value & flag
+      & info [ "pin" ] ~doc:"Pin worker domains to cores (best-effort).")
+  in
+  let spin =
+    Arg.(
+      value
+      & opt spin_policy Rme_native.Backoff.Exponential
+      & info [ "spin" ] ~docv:"POLICY"
+          ~doc:"Spin-wait policy: backoff, relax or spin (as in rme native).")
+  in
+  let no_padding =
+    Arg.(
+      value & flag
+      & info [ "no-padding" ]
+          ~doc:"Allocate backend cells back-to-back (false-sharing ablation).")
+  in
+  let run_for =
+    Arg.(
+      value
+      & opt (some pos_float) None
+      & info [ "run-for" ] ~docv:"SECONDS"
+          ~doc:
+            "Stop admitting new requests after $(docv) seconds, leaving \
+             the stream tail unserved.")
+  in
+  let run stack model n seed keys shards per_worker theta rate think_ns batch
+      drill_after drill_timeout traffic_budget alloc_probe pin spin no_padding
+      run_for metrics =
+    if not (List.mem stack Rme_native.Stack.recoverable_names) then begin
+      Printf.eprintf "unknown native stack %S; available: %s\n" stack
+        (String.concat ", " Rme_native.Stack.recoverable_names);
+      1
+    end
+    else
+      match
+        Rme_service.Loadgen.run ~stack ~model ~padded:(not no_padding) ~shards
+          ~theta ~rate_rps:rate ~think_ns ~batch ~spin ~pin ~alloc_probe
+          ?run_for ?drill_after ~drill_timeout ?traffic_budget ~seed ~n ~keys
+          ~per_worker ()
+      with
+      | exception Invalid_argument m ->
+        Printf.eprintf "service: %s\n" m;
+        1
+      | r -> (
+        Format.printf "%a@." Rme_service.Loadgen.pp_result r;
+        Option.iter
+          (fun file -> write_file file (Rme_service.Loadgen.metrics_json r))
+          metrics;
+        match Rme_service.Loadgen.check_clean r with
+        | Ok () ->
+          print_endline "clean";
+          0
+        | Error e ->
+          Printf.printf "NOT CLEAN: %s\n" e;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Run the sharded lock-service workload: a table of up to millions \
+          of logical RME locks served by batching clients over worker \
+          domains under seeded Zipf traffic, with per-shard latency \
+          metrics (--metrics) and an optional crash-recovery drill \
+          (--drill-after).")
+    Term.(
+      const run $ stack_arg $ model_arg $ n_arg $ seed_arg $ keys $ shards
+      $ per_worker $ theta $ rate $ think_ns $ batch $ drill_after
+      $ drill_timeout $ traffic_budget $ alloc_probe $ pin $ spin $ no_padding
+      $ run_for $ metrics_arg)
+
 let () =
   let doc =
     "Recoverable mutual exclusion under system-wide failures (PODC 2018) — \
@@ -923,4 +1159,4 @@ let () =
        (Cmd.group
           (Cmd.info "rme" ~version:"1.0.0" ~doc)
           [ list_cmd; run_cmd; model_check_cmd; scenario_cmd; trace_cmd;
-            native_cmd ]))
+            native_cmd; service_cmd ]))

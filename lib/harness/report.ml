@@ -95,6 +95,33 @@ let ablation_table ?(capture = false) ~title ~label_header ~base_header
   in
   table ~capture ~title ~header rows
 
+(* --- numeric-cell comparison for the baseline gate --- *)
+
+(* Accept the harness's "12345+" truncation marker. *)
+let number_of_cell s =
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = '+' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  float_of_string_opt s
+
+(* Relative agreement for nonzero baselines: |fresh - base| within
+   [tolerance] of the larger magnitude (floored at 1 so near-zero pairs
+   compare absolutely). A baseline of exactly 0 degenerates under that
+   rule — the scale becomes |fresh| itself, so any fresh value beyond the
+   floor fails *regardless* of tolerance; a zero baseline therefore
+   switches to an absolute check: the fresh value must stay within
+   [tolerance] of 0. (A zero-baseline cell is a count of something that
+   never happened; if it starts happening, tolerance should not hide it.) *)
+let cell_within_tolerance ~tolerance ~base ~fresh =
+  if base = 0. then abs_float fresh <= tolerance
+  else
+    let scale =
+      Float.max (Float.max (abs_float fresh) (abs_float base)) 1.
+    in
+    abs_float (fresh -. base) <= tolerance *. scale
+
 (* --- the bench JSON schema --- *)
 
 let bench_schema = "rme-bench/1"

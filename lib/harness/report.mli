@@ -51,6 +51,18 @@ val captured : unit -> captured list
 val captured_metrics : unit -> (string * Sim.Json.t) list
 (** Metrics recorded since the last {!reset_captured}, in record order. *)
 
+val number_of_cell : string -> float option
+(** Numeric value of a table cell, accepting the harness's ["12345+"]
+    truncation marker; [None] for non-numeric cells. *)
+
+val cell_within_tolerance : tolerance:float -> base:float -> fresh:float -> bool
+(** The baseline gate's numeric-cell agreement: relative to the larger
+    magnitude (floored at 1) for nonzero baselines, absolute — within
+    [tolerance] of 0 — when the baseline is exactly 0, where a relative
+    rule degenerates into rejecting every nonzero fresh value.
+    [bench/validate.exe] applies this to every non-safety numeric cell;
+    [test/test_observability.ml] pins the semantics. *)
+
 val bench_schema : string
 (** Schema identifier stamped into every [BENCH_E<k>.json] ("rme-bench/1"). *)
 

@@ -155,7 +155,11 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
      the per-domain passage counters every [sample_interval] seconds and
      appends a (wall-clock, total passages) point — the passages/s time
      series across crash storms. It only reads atomics the monitors
-     already maintain, so arming it cannot perturb the run. *)
+     already maintain, so arming it cannot perturb the run. The wait is
+     chunked into <=10 ms slices that re-check [unfinished]: sleeping a
+     whole interval at a time kept the thread alive long after a short
+     window (small budget, or [~run_for] shorter than the interval)
+     finished, stalling [Thread.join] below by up to a full interval. *)
   let samples = ref [] in
   let sampler =
     Option.map
@@ -164,16 +168,25 @@ let run ?crash_interval ?(max_crashes = 50) ?seed ?(csr_poll = true)
         Thread.create
           (fun () ->
             while unfinished () do
-              Thread.delay dt;
-              let total =
-                Array.fold_left
-                  (fun acc c -> acc + Atomic.get c)
-                  0
-                  (Array.sub completed 1 n)
-              in
-              samples :=
-                { at = Unix.gettimeofday () -. t0; total_passages = total }
-                :: !samples
+              (* Sleep [dt] in slices so a finished run is noticed within
+                 ~10 ms; a full slice sequence preserves the dt cadence. *)
+              let slept = ref 0. in
+              while unfinished () && !slept < dt do
+                let slice = Float.min 0.01 (dt -. !slept) in
+                Thread.delay slice;
+                slept := !slept +. slice
+              done;
+              if unfinished () then begin
+                let total =
+                  Array.fold_left
+                    (fun acc c -> acc + Atomic.get c)
+                    0
+                    (Array.sub completed 1 n)
+                in
+                samples :=
+                  { at = Unix.gettimeofday () -. t0; total_passages = total }
+                  :: !samples
+              end
             done)
           ())
       sample_interval

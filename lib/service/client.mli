@@ -1,0 +1,42 @@
+(** Per-domain batching client for the sharded lock table: buffer up to
+    [cap] requests, then [flush] serves them in shard groups — one lock
+    passage per distinct shard in the batch, [Table.serve] plus the
+    [on_served] callback once per request {e inside} the critical
+    section. The flush path is allocation-free (the group scan uses a
+    one-word bitmask, hence [cap <= 62]).
+
+    On a crash, [flush] unwinds with {!Rme_native.Crash.Crashed}:
+    requests already reported via [on_served] are complete, the rest are
+    unserved — [clear] and re-submit them on the worker's re-entry
+    path. *)
+
+type t
+
+val create :
+  Table.t ->
+  pid:int ->
+  cap:int ->
+  on_served:(tag:int -> shard:int -> unit) ->
+  t
+(** @raise Invalid_argument unless [1 <= cap <= 62]. [on_served] runs
+    inside the critical section; it must not allocate if the run is
+    alloc-probed and must not touch backend cells. *)
+
+val submit : t -> key:int -> tag:int -> unit
+(** Buffer one request. @raise Invalid_argument when full ([room]). *)
+
+val flush : t -> epoch:int -> unit
+(** Serve every buffered request, grouped by shard; empties the buffer.
+    May raise {!Rme_native.Crash.Crashed} (see module comment). *)
+
+val pending : t -> int
+val room : t -> bool
+
+val clear : t -> unit
+(** Drop buffered requests without serving (post-crash re-entry). *)
+
+val batches : t -> int
+(** Lock passages performed so far (machine-dependent bookkeeping). *)
+
+val served : t -> int
+val max_batch : t -> int

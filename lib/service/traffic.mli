@@ -1,0 +1,45 @@
+(** Pregenerated open-loop traffic streams for the sharded lock service:
+    per-worker arrays of Zipf-contended keys and Poisson(+think-time)
+    arrival offsets, all drawn from seeded [Random.State]s so a fixed
+    configuration replays byte-identically ([fingerprint] digests the
+    whole workload). Workers serve a prefix of their stream when run with
+    a smaller budget, so a --quick run replays a prefix of the exact full
+    workload. *)
+
+type stream = {
+  s_keys : int array;  (** request i targets logical key [s_keys.(i)] *)
+  s_arrival_ns : int array;
+      (** nondecreasing arrival offsets from worker start, ns *)
+}
+
+type t = {
+  workers : int;
+  per_worker : int;
+  key_space : int;
+  theta : float;
+  rate_rps : float;  (** per-worker arrival rate; [0.] = saturating *)
+  think_ns : int;
+  seed : int;
+  streams : stream array;  (** length [workers]; worker pid p replays
+                               [streams.(p-1)] *)
+  fingerprint : int;
+}
+
+val make :
+  ?theta:float ->
+  ?rate_rps:float ->
+  ?think_ns:int ->
+  seed:int ->
+  workers:int ->
+  per_worker:int ->
+  key_space:int ->
+  unit ->
+  t
+(** [theta] (default 0.99) is the Zipf skew, in [0, 1); [rate_rps]
+    (default 0., i.e. saturating) the per-worker open-loop arrival rate;
+    [think_ns] (default 0) a fixed extra gap between arrivals.
+    @raise Invalid_argument on out-of-range parameters. *)
+
+val fingerprint : t -> int
+(** Deterministic digest of the configuration and every generated
+    stream: equal fingerprints mean byte-identical workloads. *)

@@ -1,0 +1,74 @@
+(* Seeded bounded Zipf(theta) sampler over keys [0 .. keys-1], via the
+   YCSB-style approximate inversion (Gray et al., "Quickly generating
+   billion-record synthetic databases", SIGMOD '94): one uniform draw, a
+   handful of float ops, no rejection loop. Setup is O(keys) (the zeta
+   partial sum); sampling is O(1).
+
+   Determinism: the only randomness is the private [Random.State] created
+   from [seed], so a fixed seed replays the exact key sequence —
+   test/test_service.ml pins this. The global RNG is never touched.
+
+   [theta] is restricted to [0, 1) — the classical YCSB range, where the
+   inversion constants are well-defined ([theta = 1] makes [alpha]
+   divide by zero). [theta = 0.] degenerates to the uniform
+   distribution; [0.99] is the YCSB "zipfian" default. *)
+
+type t = {
+  keys : int;
+  theta : float;
+  rng : Random.State.t;
+  zetan : float;  (** zeta(keys, theta) = sum_{i=1..keys} 1/i^theta *)
+  alpha : float;  (** 1 / (1 - theta) *)
+  eta : float;
+  threshold : float;  (** 1 + 0.5^theta: the cumulative mass of keys 0,1 *)
+}
+
+let zeta ~theta n =
+  let z = ref 0. in
+  for i = 1 to n do
+    z := !z +. (1. /. (float_of_int i ** theta))
+  done;
+  !z
+
+let create ?(theta = 0.99) ~seed ~keys () =
+  if keys < 1 then invalid_arg "Zipf.create: keys must be >= 1";
+  if theta < 0. || theta >= 1. then
+    invalid_arg "Zipf.create: theta must be in [0, 1)";
+  let zetan = zeta ~theta keys in
+  (* For keys <= 2 the inversion's third branch is unreachable (the first
+     two keys carry all the mass), and the eta formula is 0/0 there. *)
+  let eta =
+    if keys <= 2 then 0.
+    else
+      let zeta2 = zeta ~theta 2 in
+      (1. -. ((2. /. float_of_int keys) ** (1. -. theta)))
+      /. (1. -. (zeta2 /. zetan))
+  in
+  {
+    keys;
+    theta;
+    rng = Random.State.make [| 0x7a69; seed |];
+    zetan;
+    alpha = 1. /. (1. -. theta);
+    eta;
+    threshold = 1. +. (0.5 ** theta);
+  }
+
+let keys t = t.keys
+let theta t = t.theta
+
+let sample t =
+  if t.keys = 1 then 0
+  else begin
+    let u = Random.State.float t.rng 1.0 in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < t.threshold then 1
+    else begin
+      let k =
+        int_of_float
+          (float_of_int t.keys *. (((t.eta *. u) -. t.eta +. 1.) ** t.alpha))
+      in
+      if k >= t.keys then t.keys - 1 else if k < 0 then 0 else k
+    end
+  end

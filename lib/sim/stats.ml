@@ -1,8 +1,11 @@
 (* Online summary statistics plus a log-bucketed histogram, so the
    harness can report distribution shape (p50/p90/p99) and not just
    mean/max. Samples are non-negative by construction here (RMR counts,
-   step counts); negative or NaN inputs are clamped into bucket 0 but
-   still tracked exactly by min/max/mean.
+   step counts); negative inputs are clamped into bucket 0 but still
+   tracked exactly by min/max/mean, and NaN is treated as 0 throughout —
+   a NaN that only entered the bucket clamp would otherwise leave
+   min/max stuck at their ±infinity sentinels with a nonzero count,
+   resurrecting exactly the leak the count-0 guards below fixed.
 
    Bucket layout (HDR-histogram style): values 0..63 get exact buckets;
    above that, each power of two is split into 8 sub-buckets, so the
@@ -59,6 +62,7 @@ let bucket_hi i =
     bucket_lo i + (1 lsl (m - sub_bits)) - 1
 
 let add t x =
+  let x = if Float.is_nan x then 0. else x in
   t.count <- t.count + 1;
   t.sum <- t.sum +. x;
   if x > t.max_v then t.max_v <- x;

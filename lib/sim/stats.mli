@@ -2,7 +2,9 @@
     log-bucketed histogram with percentile queries — the measurement core
     of the observability layer. Samples are expected to be non-negative
     (RMR counts, step counts); the histogram clamps anything below 1 into
-    its zero bucket, while mean/min/max track the exact inputs.
+    its zero bucket, while mean/min/max track the exact inputs (NaN is
+    treated as 0 throughout, so it can never wedge min/max at their
+    internal sentinels).
 
     Empty accumulators never leak their internal [±infinity] sentinels:
     {!max}, {!min}, {!percentile} and {!pp} all report 0 when no sample

@@ -369,6 +369,47 @@ let native_instrumentation_smoke () =
     (Array.fold_left ( + ) 0 windowed.Rme_native.Workers.completed < max_int);
   check_metrics "windowed run" windowed
 
+let native_window_outlives_sampler () =
+  (* The sampler thread must not outlive a short window: with a sample
+     interval much longer than the run, the old whole-interval sleep kept
+     Thread.join (and so Workers.run) blocked until the interval expired.
+     The chunked wait notices the finished run within ~10 ms. *)
+  let t0 = Unix.gettimeofday () in
+  let windowed =
+    Rme_native.Workers.run ~run_for:0.05 ~sample_interval:5.0 ~sync_start:true
+      ~n:2 ~passages:max_int
+      ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n "t1-mcs")
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  assert_native_clean "windowed sampler run" windowed;
+  if wall > 2.0 then
+    Alcotest.failf
+      "sampler outlived the 0.05s window: run took %.2fs (interval 5s)" wall;
+  Alcotest.(check bool) "window closed the run" true
+    (Array.fold_left ( + ) 0 windowed.Rme_native.Workers.completed < max_int);
+  (* A small fixed budget that finishes well inside one interval must
+     shut the sampler down just as cleanly, and the metrics (with their
+     possibly-empty samples list) must still validate. *)
+  let t0 = Unix.gettimeofday () in
+  let budgeted =
+    Rme_native.Workers.run ~sample_interval:5.0 ~sync_start:true ~n:2
+      ~passages:200
+      ~make:(fun crash ~n -> Rme_native.Stack.recoverable crash ~n "t1-mcs")
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  assert_native_clean "budgeted sampler run" budgeted;
+  if wall > 2.0 then
+    Alcotest.failf "sampler stalled a 200-passage run for %.2fs" wall;
+  List.iter
+    (fun r ->
+      match Rme_native.Workers.validate_metrics (Rme_native.Workers.metrics r)
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "sampler-run metrics invalid: %s" e)
+    [ windowed; budgeted ]
+
 let native_many_domains () =
   (* Oversubscribe well beyond the core count. *)
   let n = 8 in
@@ -398,6 +439,7 @@ let () =
           case "pin-noop-when-unsupported" pin_noop_when_unsupported;
           case "pinned-run-clean" native_pinned_run_clean;
           case "instrumentation-smoke" native_instrumentation_smoke;
+          case "window-outlives-sampler" native_window_outlives_sampler;
         ] );
       ("crash-protocol", [ case "epochs" crash_protocol_epochs ]);
       ( "barrier",

@@ -323,6 +323,95 @@ let validator_accepts_and_rejects () =
             kvs))
   | _ -> assert false)
 
+(* --- Stats merge edge cases (PR 3's sentinel fix must survive merge) --- *)
+
+let float_eq what a b =
+  if a <> b then Alcotest.failf "%s: expected %g, got %g" what b a
+
+let stats_merge_empty_edges () =
+  let populated () =
+    let s = Stats.create () in
+    List.iter (Stats.add s) [ 3.; 7.; 42. ];
+    s
+  in
+  let check_like what m =
+    Alcotest.(check int) (what ^ ": count") 3 (Stats.count m);
+    float_eq (what ^ ": min") (Stats.min m) 3.;
+    float_eq (what ^ ": max") (Stats.max m) 42.;
+    float_eq (what ^ ": mean") (Stats.mean m) (52. /. 3.);
+    float_eq (what ^ ": p100") (Stats.percentile m 100.) 42.;
+    (* Emission must stay finite after the merge. *)
+    ignore (Json.to_string (Stats.to_json m))
+  in
+  (* Merging an empty histogram in either direction must preserve exact
+     count/min/max/percentile semantics of the populated side. *)
+  check_like "empty into populated" (Stats.merge (Stats.create ()) (populated ()));
+  check_like "populated into empty" (Stats.merge (populated ()) (Stats.create ()))
+
+let stats_merge_all_empty () =
+  (* A merge of empties is itself empty: every accessor must report 0,
+     never the internal ±infinity sentinels, and to_json must emit. *)
+  let m = Stats.merge (Stats.create ()) (Stats.create ()) in
+  Alcotest.(check int) "count" 0 (Stats.count m);
+  float_eq "min" (Stats.min m) 0.;
+  float_eq "max" (Stats.max m) 0.;
+  float_eq "mean" (Stats.mean m) 0.;
+  float_eq "p50" (Stats.percentile m 50.) 0.;
+  float_eq "p100" (Stats.percentile m 100.) 0.;
+  ignore (Json.to_string (Stats.to_json m));
+  (* And merging that empty merge into real data still works. *)
+  let s = Stats.create () in
+  Stats.add s 5.;
+  let m2 = Stats.merge m s in
+  Alcotest.(check int) "count after" 1 (Stats.count m2);
+  float_eq "min after" (Stats.min m2) 5.;
+  float_eq "max after" (Stats.max m2) 5.
+
+let stats_nan_never_wedges_sentinels () =
+  (* NaN is treated as 0: a histogram that only ever saw NaN has a real
+     count and must still report finite min/max/mean and emit JSON. *)
+  let s = Stats.create () in
+  Stats.add s Float.nan;
+  Alcotest.(check int) "count" 1 (Stats.count s);
+  float_eq "min" (Stats.min s) 0.;
+  float_eq "max" (Stats.max s) 0.;
+  float_eq "mean" (Stats.mean s) 0.;
+  ignore (Json.to_string (Stats.to_json s));
+  ignore (Json.to_string (Stats.to_json (Stats.merge s s)))
+
+(* --- the baseline gate's numeric-cell comparison --- *)
+
+let tolerance_zero_baseline () =
+  let within = Report.cell_within_tolerance in
+  (* Nonzero baselines: relative to the larger magnitude, floored at 1. *)
+  Alcotest.(check bool) "9% drift passes" true
+    (within ~tolerance:0.10 ~base:100. ~fresh:109.);
+  Alcotest.(check bool) "15% drift fails" false
+    (within ~tolerance:0.10 ~base:100. ~fresh:115.);
+  Alcotest.(check bool) "sub-1 magnitudes compare absolutely" true
+    (within ~tolerance:0.10 ~base:0.5 ~fresh:0.58);
+  Alcotest.(check bool) "negative baselines use magnitude" true
+    (within ~tolerance:0.10 ~base:(-10.) ~fresh:(-10.9));
+  (* Zero baseline: tolerance is an absolute epsilon around 0 — small
+     fresh noise passes, material drift fails no matter how it compares
+     relatively (fresh/0 is meaningless), and raising --tolerance admits
+     exactly the values it names. *)
+  Alcotest.(check bool) "zero to zero" true
+    (within ~tolerance:0.10 ~base:0. ~fresh:0.);
+  Alcotest.(check bool) "noise above zero passes" true
+    (within ~tolerance:0.10 ~base:0. ~fresh:0.08);
+  Alcotest.(check bool) "material drift from zero fails" false
+    (within ~tolerance:0.10 ~base:0. ~fresh:2.);
+  Alcotest.(check bool) "epsilon is absolute, not relative" false
+    (within ~tolerance:2. ~base:0. ~fresh:5.);
+  Alcotest.(check bool) "named epsilon admits the value" true
+    (within ~tolerance:6. ~base:0. ~fresh:5.);
+  (* The cell parser feeding it strips the truncation marker. *)
+  Alcotest.(check bool) "truncation marker" true
+    (Report.number_of_cell "1234+" = Some 1234.);
+  Alcotest.(check bool) "non-numeric cell" true
+    (Report.number_of_cell "yes" = None)
+
 let () =
   Alcotest.run "observability"
     [
@@ -348,5 +437,15 @@ let () =
           case "display-width" display_width_counts_scalars;
           case "render-utf8" render_aligns_utf8;
         ] );
-      ("validator", [ case "accepts-and-rejects" validator_accepts_and_rejects ]);
+      ( "stats",
+        [
+          case "merge-empty-edges" stats_merge_empty_edges;
+          case "merge-all-empty" stats_merge_all_empty;
+          case "nan-never-wedges" stats_nan_never_wedges_sentinels;
+        ] );
+      ( "validator",
+        [
+          case "accepts-and-rejects" validator_accepts_and_rejects;
+          case "zero-baseline-tolerance" tolerance_zero_baseline;
+        ] );
     ]
