@@ -1,7 +1,7 @@
 # Tier-1 verification plus the parallel-engine smoke test. `make ci` is
 # what .github/workflows/ci.yml runs; keep the two in sync.
 
-.PHONY: all build test differential bench-smoke scenario-smoke e10-smoke e13-smoke e14-smoke e15-smoke trace-sample validate baselines deep-check ci clean
+.PHONY: all build test differential bench-smoke scenario-smoke e10-smoke e13-smoke e14-smoke e15-smoke e16-smoke trace-sample validate baselines deep-check ci clean
 
 all: build
 
@@ -36,6 +36,7 @@ bench-smoke: build
 	  BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json
 	$(MAKE) e14-smoke
 	$(MAKE) e15-smoke
+	$(MAKE) e16-smoke
 	$(MAKE) scenario-smoke
 
 # The Scenario-builder gate (DESIGN.md §5.16): a quick storm over every
@@ -63,11 +64,11 @@ scenario-smoke: build
 # live in its metrics and in-code gates), so the quick run regenerates
 # the same table a full run would.
 baselines: build
-	dune exec bench/main.exe -- e1 e9 e12 e13 --jobs 2
+	dune exec bench/main.exe -- e1 e9 e12 e13 e16 --jobs 2
 	dune exec bench/main.exe -- e14 --quick
 	dune exec bench/main.exe -- e15 --quick
 	cp BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json \
-	  BENCH_E14.json BENCH_E15.json bench/baselines/
+	  BENCH_E14.json BENCH_E15.json BENCH_E16.json bench/baselines/
 
 # The nightly deep model-check: the E9/E12 roster's algorithm stacks at
 # larger bounds than CI's smoke run can afford, made tractable by
@@ -101,6 +102,9 @@ deep-check: build
 	dune exec bench/main.exe -- e15
 	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E15.json
 	cp BENCH_E15.json deep-check/
+	dune exec bench/main.exe -- e16
+	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E16.json
+	cp BENCH_E16.json deep-check/
 
 # Standalone schema check over whatever BENCH_E*.json are lying around.
 validate: build
@@ -140,6 +144,17 @@ e14-smoke: build
 e15-smoke: build
 	dune exec bench/main.exe -- e15 --quick
 	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E15.json
+
+# E16, the cross-paper RMR shootout, with its in-code envelope gates (the
+# JJJ constant band on both cost models, the logarithmic stacks' growth —
+# any gate failing exits non-zero before the JSON is written), then the
+# schema + baseline diff. Every E16 cell is a seeded simulator run, so
+# the tables are deterministic and there is nothing for --quick to
+# shrink: the smoke run IS the full run and gates against the committed
+# baseline byte-for-byte.
+e16-smoke: build
+	dune exec bench/main.exe -- e16 --jobs 2
+	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E16.json
 
 # A small Perfetto-loadable trace of T1(MCS) under a crash storm — CI
 # uploads it as an artifact so a run's behaviour can be eyeballed.

@@ -41,6 +41,8 @@ let recoverable_table : (string * (Sim.Memory.t -> Rme_intf.rme)) list =
     ("frf-mcs", fun mem -> Transform23.frf_only mem ~base:(t1_mcs mem));
     ("rclh-fasas", Fasas_clh.make);
     ("rtas", Recoverable_tas.make);
+    ("jjj-cc", Jjj_cc.make);
+    ("jjj-dsm", Jjj_dsm.make);
     ("t1spin-mcs", fun mem -> Transform1_spin.make mem ~base:(Locks.Mcs.make mem));
     ( "t1spin-ya",
       fun mem -> Transform1_spin.make mem ~base:(Locks.Yang_anderson.make mem) );

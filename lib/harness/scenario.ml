@@ -195,6 +195,19 @@ let lost_update_monitor () : monitor_set =
             let v = Proc.read counter in
             Proc.write counter (v + 1));
       m_exiting = Some (fun ~pid:_ ~epoch:_ -> incr cs_done);
+      (* Crash resync: the increment and the [cs_done] count land in the
+         same scheduler step, so for any ME-correct run [counter =
+         cs_done] at every decision point and this assignment is a
+         no-op — fingerprints, parity pins and baselines are untouched.
+         Its purpose is the delayed-visibility fault (DESIGN.md §5.16):
+         an increment sitting in the store buffer when a crash hits is
+         legally discarded (it never reached NVRAM) while the exiting
+         probe already counted the passage — the passage retries in the
+         next epoch and re-increments, so without the resync the final
+         tally reports a phantom lost update (seen first on the jjj-cc
+         faulty gauntlet; t1-mcs/t3-mcs reproduce it on other seeds). *)
+      m_crashed = Some (fun ~epoch:_ -> cs_done := Memory.peek counter);
+      m_crashed_one = Some (fun ~pid:_ -> cs_done := Memory.peek counter);
       m_finished =
         Some
           (fun () ->

@@ -104,7 +104,12 @@ val lost_update_monitor : unit -> monitor_set
 (** Allocates the shared ["mc.protected"] counter, increments it inside
     the CS ([in_cs] — the only monitor probe that performs {!Sim.Proc}
     operations), and checks at the end of a run that no increment was
-    lost. Counter: ["lost-updates"]. *)
+    lost. On a crash the expected count resyncs to the persisted counter
+    — a no-op for ME-correct runs (so fingerprints and parity are
+    unchanged), but it forgives exactly the increment a
+    delayed-visibility fault leaves in the store buffer at the crash,
+    which never reached NVRAM and is legally discarded. Counter:
+    ["lost-updates"]. *)
 
 val barrier_spec : leader_of:(epoch:int -> int) -> monitor_set
 (** Definition 3.1(i): no call may return before the leader's call has

@@ -10,6 +10,8 @@ module Ya = Locks.Yang_anderson.Make (Backend)
 module T1 = Rme.Transform1.Make (Backend)
 module T1_spin = Rme.Transform1_spin.Make (Backend)
 module T23 = Rme.Transform23.Make (Backend)
+module Jjj_cc = Rme.Jjj_cc.Make (Backend)
+module Jjj_dsm = Rme.Jjj_dsm.Make (Backend)
 
 let conventional_table : (string * (Backend.mem -> Intf.mutex)) list =
   [
@@ -39,6 +41,8 @@ let recoverable_table : (string * (Backend.mem -> Intf.rme)) list =
     ("t2-mcs", fun mem -> T23.csr mem ~base:(t1_mcs mem));
     ("t3-mcs", fun mem -> T23.csr_frf mem ~base:(t1_mcs mem));
     ("frf-mcs", fun mem -> T23.frf_only mem ~base:(t1_mcs mem));
+    ("jjj-cc", Jjj_cc.make);
+    ("jjj-dsm", Jjj_dsm.make);
     ("t1spin-mcs", fun mem -> T1_spin.make mem ~base:(Mcs.make mem));
     ("t1-mcs-nofast", t1_mcs_nofast);
     ( "t3-mcs-nofast",

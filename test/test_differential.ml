@@ -34,7 +34,7 @@ let native_registry_breadth () =
   List.iter
     (fun required ->
       Alcotest.(check bool) (required ^ " ported") true (List.mem required names))
-    [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "frf-mcs"; "t1-ya" ]
+    [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "frf-mcs"; "t1-ya"; "jjj-cc"; "jjj-dsm" ]
 
 let no_duplicate_keys () =
   let check_uniq what names =
@@ -105,5 +105,10 @@ let () =
           slow_case "frf-mcs" (differential_storm ~check_csr:false "frf-mcs");
           slow_case "t3-mcs-dsm"
             (differential_storm ~model:Sim.Memory.Dsm ~check_csr:true "t3-mcs");
+          slow_case "jjj-cc" (differential_storm ~check_csr:false "jjj-cc");
+          slow_case "jjj-dsm" (differential_storm ~check_csr:false "jjj-dsm");
+          slow_case "jjj-dsm-dsm"
+            (differential_storm ~model:Sim.Memory.Dsm ~check_csr:false
+               "jjj-dsm");
         ] );
     ]

@@ -137,6 +137,23 @@ let reduction_preserves_clean_verdicts () =
           Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1
             ~reduction ~jobs
             (Harness.Scenarios.barrier ~epochs:2 ~n:2 ~model:Memory.Dsm ()) );
+      (* The successor locks (DESIGN.md §5.18): no CSR by design, so the
+         CSR monitor is off — the scenario still runs the builder's full
+         ME/lost-update monitor set and fingerprint fold. *)
+      ( "jjj-cc-n2-d1c1",
+        fun ~reduction ~jobs ->
+          Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1
+            ~reduction ~jobs
+            (Harness.Scenarios.rme ~check_csr:false ~n:2 ~model:Memory.Cc
+               ~make:(fun mem -> Rme.Stack.recoverable mem "jjj-cc")
+               ()) );
+      ( "jjj-dsm-n2-d1c1",
+        fun ~reduction ~jobs ->
+          Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1
+            ~reduction ~jobs
+            (Harness.Scenarios.rme ~check_csr:false ~n:2 ~model:Memory.Dsm
+               ~make:(fun mem -> Rme.Stack.recoverable mem "jjj-dsm")
+               ()) );
     ]
   in
   List.iter

@@ -283,6 +283,18 @@ let native_distributed_barrier_storm () =
   in
   assert_native_clean "t3-mcs distributed-barrier storm" r
 
+let native_jjj_dsm_storm () =
+  (* The DSM instantiation of Algorithm 2 (DESIGN.md §5.18): recovery
+     goes through the distributed barrier machinery on real domains. *)
+  let r =
+    Rme_native.Workers.run ~crash_interval:0.001 ~max_crashes:25 ~n:module_n
+      ~passages:30_000
+      ~make:(fun crash ~n ->
+        Rme_native.Stack.recoverable ~model:Sim.Memory.Dsm crash ~n "jjj-dsm")
+      ()
+  in
+  assert_native_clean "jjj-dsm distributed-barrier storm" r
+
 let native_substrate_variant_storms () =
   (* The E14 ablation axes must not change what the monitors see: padded
      and unpadded cells, tuned and bare spinning, CC and DSM, all clean
@@ -457,6 +469,7 @@ let () =
           slow_case "stacks" native_storms;
           slow_case "csr-holds" native_csr_stacks_hold_csr;
           slow_case "distributed-barrier" native_distributed_barrier_storm;
+          slow_case "jjj-dsm-distributed" native_jjj_dsm_storm;
           slow_case "substrate-variants" native_substrate_variant_storms;
           slow_case "many-domains" native_many_domains;
         ] );

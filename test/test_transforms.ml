@@ -39,7 +39,7 @@ let bursty_storms_are_clean () =
           stack
       in
       assert_storm_clean (stack ^ " bursty") r)
-    [ "t1-mcs"; "t3-mcs" ]
+    [ "t1-mcs"; "t3-mcs"; "jjj-cc"; "jjj-dsm" ]
 
 let faulty_storms_are_clean () =
   (* The new injectable faults (DESIGN.md §5.16): lost wakeups on
@@ -59,7 +59,7 @@ let faulty_storms_are_clean () =
           in
           assert_storm_clean (Printf.sprintf "%s faulty seed=%d" stack seed) r)
         [ 1; 2 ])
-    [ "t1-mcs"; "t3-mcs" ]
+    [ "t1-mcs"; "t3-mcs"; "jjj-cc"; "jjj-dsm" ]
 
 let epoch_skipping_is_tolerated () =
   (* The model only promises monotone epochs (footnote 1: counters may
@@ -420,6 +420,22 @@ let t1_ya_grows () =
   if at32 <= at4 then
     Alcotest.failf "t1-ya should grow logarithmically: %.1f -> %.1f" at4 at32
 
+let jjj_constant_rmr () =
+  (* The successor locks (DESIGN.md §5.18): steady-state passages are
+     O(1) RMRs in both models, with smaller constants than T1(MCS) —
+     E16 gates the full 1..48 sweep; this is the quick tier-1 pin. *)
+  List.iter
+    (fun stack ->
+      List.iter
+        (fun model ->
+          let at4 = Stats.max_int (steady stack ~model ~n:4).steady_rmrs in
+          let at32 = Stats.max_int (steady stack ~model ~n:32).steady_rmrs in
+          if at32 > at4 + 2 || at32 > 12 then
+            Alcotest.failf "%s %s: steady max RMR %d (n=4) -> %d (n=32)" stack
+              (model_tag model) at4 at32)
+        models)
+    [ "jjj-cc"; "jjj-dsm" ]
+
 let recovery_passage_constant_rmr () =
   (* One crash mid-run; the recovery passages of T1(MCS) stay O(1) while
      T1(YA) pays the Θ(N log N) reset. *)
@@ -590,7 +606,13 @@ let mc_stacks_with_crashes () =
             Alcotest.failf "%s %s: %a" stack (model_tag model)
               Harness.Model_check.pp_outcome o)
         models)
-    [ ("t1-mcs", false); ("t2-mcs", true); ("t3-mcs", true) ]
+    [
+      ("t1-mcs", false);
+      ("t2-mcs", true);
+      ("t3-mcs", true);
+      ("jjj-cc", false);
+      ("jjj-dsm", false);
+    ]
 
 let mc_two_passages () =
   let sc =
@@ -645,6 +667,7 @@ let () =
           case "t1-mcs-constant" t1_mcs_constant_rmr;
           case "t3-constant" full_stack_constant_rmr;
           case "t1-ya-grows" t1_ya_grows;
+          case "jjj-constant" jjj_constant_rmr;
           case "recovery-constant" recovery_passage_constant_rmr;
         ] );
       ( "boundedness",

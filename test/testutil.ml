@@ -33,7 +33,9 @@ let assert_clean what (r : Harness.Driver.report) =
    Rme_native.Workers.run) and the CSR-providing subset whose storms
    additionally pin zero CSR violations. One definition so a new stack
    joins every gauntlet by being added here. *)
-let protected_stacks = [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "t1-ya"; "t1-ticket" ]
+let protected_stacks =
+  [ "t1-mcs"; "t2-mcs"; "t3-mcs"; "t1-ya"; "t1-ticket"; "jjj-cc"; "jjj-dsm" ]
+
 let storm_roster = protected_stacks @ [ "frf-mcs" ]
 let csr_storm_roster = [ "t2-mcs"; "t3-mcs" ]
 
