@@ -1,7 +1,7 @@
 # Tier-1 verification plus the parallel-engine smoke test. `make ci` is
 # what .github/workflows/ci.yml runs; keep the two in sync.
 
-.PHONY: all build test differential bench-smoke scenario-smoke e10-smoke e13-smoke e14-smoke e15-smoke e16-smoke trace-sample validate baselines deep-check ci clean
+.PHONY: all build test differential bench-smoke scenario-smoke e10-smoke e13-smoke e14-smoke e15-smoke e16-smoke e17-smoke trace-sample validate baselines deep-check ci clean
 
 all: build
 
@@ -37,6 +37,7 @@ bench-smoke: build
 	$(MAKE) e14-smoke
 	$(MAKE) e15-smoke
 	$(MAKE) e16-smoke
+	$(MAKE) e17-smoke
 	$(MAKE) scenario-smoke
 
 # The Scenario-builder gate (DESIGN.md §5.16): a quick storm over every
@@ -64,18 +65,23 @@ scenario-smoke: build
 # live in its metrics and in-code gates), so the quick run regenerates
 # the same table a full run would.
 baselines: build
-	dune exec bench/main.exe -- e1 e9 e12 e13 e16 --jobs 2
+	dune exec bench/main.exe -- e1 e9 e12 e13 e16 e17 --jobs 2
 	dune exec bench/main.exe -- e14 --quick
 	dune exec bench/main.exe -- e15 --quick
 	cp BENCH_E1.json BENCH_E9.json BENCH_E12.json BENCH_E13.json \
-	  BENCH_E14.json BENCH_E15.json BENCH_E16.json bench/baselines/
+	  BENCH_E14.json BENCH_E15.json BENCH_E16.json BENCH_E17.json \
+	  bench/baselines/
 
 # The nightly deep model-check: the E9/E12 roster's algorithm stacks at
 # larger bounds than CI's smoke run can afford, made tractable by
-# --reduce por. Each search drops a machine-readable outcome JSON into
-# deep-check/ (violations included verbatim); the nightly workflow
-# uploads that directory as an artifact. Exit is non-zero iff any clean
-# search reports a violation.
+# --reduce por (and, for the deepest rows, the §5.19 symmetry quotient
+# plus diversified bitstate swarm searches — exact sym rows stay
+# verdict-authoritative; the swarm rows are coverage, merged
+# any-violation-wins). Each search drops a machine-readable outcome
+# JSON into deep-check/ (violations included verbatim, swarm members
+# recorded next to the merged outcome); the nightly workflow uploads
+# that directory as an artifact. Exit is non-zero iff any clean search
+# reports a violation.
 deep-check: build
 	mkdir -p deep-check
 	dune exec bin/rme_cli.exe -- model-check --stack t2-mcs -n 3 -d 2 -c 1 \
@@ -93,6 +99,14 @@ deep-check: build
 	  --reduce por --out deep-check/barrier-n3-d3-c2.json
 	dune exec bin/rme_cli.exe -- model-check --scenario barrier-sub -n 3 \
 	  --model dsm -d 3 --reduce por --out deep-check/barrier-sub-n3-d3.json
+	dune exec bin/rme_cli.exe -- model-check --stack t3-mcs -n 3 -d 2 -c 1 \
+	  --reduce sym --out deep-check/t3-mcs-n3-d2-c1-sym.json
+	dune exec bin/rme_cli.exe -- model-check --stack rclh-fasas -n 2 -d 2 \
+	  --co 1 --reduce sym --swarm 8 --jobs 4 --vset-bits 24 \
+	  --out deep-check/swarm-rclh-fasas-n2-d2-co1.json
+	dune exec bin/rme_cli.exe -- model-check --stack rclh-fasas -n 3 -d 1 \
+	  -c 1 --reduce sym --swarm 8 --jobs 4 --vset-bits 24 \
+	  --out deep-check/swarm-rclh-fasas-n3-d1-c1.json
 	dune exec bench/validate.exe -- deep-check/*.json
 	dune exec bench/main.exe -- e13
 	cp BENCH_E13.json deep-check/
@@ -105,6 +119,9 @@ deep-check: build
 	dune exec bench/main.exe -- e16
 	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E16.json
 	cp BENCH_E16.json deep-check/
+	dune exec bench/main.exe -- e17
+	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E17.json
+	cp BENCH_E17.json deep-check/
 
 # Standalone schema check over whatever BENCH_E*.json are lying around.
 validate: build
@@ -156,6 +173,28 @@ e16-smoke: build
 	dune exec bench/main.exe -- e16 --jobs 2
 	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E16.json
 
+# E17, the symmetry/sleep/bitstate sweep, with its in-code gates (the
+# >=5x sym/por distinct-state quotient on an N>=4 scenario, verdict
+# parity across none/dedup/por/sym x jobs, the deepened-row bitstate
+# agreement — any gate failing exits non-zero before the JSON is
+# written), then the schema + baseline diff. Captured cells are all
+# jobs=1 sequential searches, so they are deterministic; --quick only
+# trims the uncaptured jobs=4 parity probes, and the smoke run gates
+# against the full-run baseline. The swarm invocation then exercises
+# the CLI-level fan-out end to end (4 diversified bitstate members,
+# any-violation-wins merge) and schema-checks its merged outcome.
+# Swarm members vary d/c/co, so a clean-gated swarm row must use a
+# stack that tolerates system-wide AND independent crashes — that is
+# FASAS-CLH; a GH18 stack would (correctly) deadlock under the co+1
+# member, tripping E11's failure-model separation, not a checker bug.
+e17-smoke: build
+	dune exec bench/main.exe -- e17 --quick
+	dune exec bench/validate.exe -- --baseline bench/baselines BENCH_E17.json
+	dune exec bin/rme_cli.exe -- model-check --scenario rme \
+	  --stack rclh-fasas -n 2 -d 1 --reduce sym --swarm 4 --jobs 2 \
+	  --vset-bits 18 --out swarm_smoke.json
+	dune exec bench/validate.exe -- swarm_smoke.json
+
 # A small Perfetto-loadable trace of T1(MCS) under a crash storm — CI
 # uploads it as an artifact so a run's behaviour can be eyeballed.
 trace-sample: build
@@ -166,5 +205,5 @@ ci: build test differential e13-smoke bench-smoke e10-smoke trace-sample
 
 clean:
 	dune clean
-	rm -f BENCH_E*.json trace_sample.json scenario_*.json
+	rm -f BENCH_E*.json trace_sample.json scenario_*.json swarm_smoke.json
 	rm -rf deep-check

@@ -869,6 +869,7 @@ let throughput_sweep () =
         on_crash_one = (fun _ -> ());
         on_finish = (fun _ -> ());
         on_fingerprint = (fun h -> fp_hooks := h :: !fp_hooks);
+        on_sym_fingerprint = (fun _ -> ());
       }
     in
     let body = sc.make_body mem ctx in
@@ -1640,6 +1641,296 @@ let cross_paper_shootout ~pool () =
       ];
     ]
 
+(* E17: symmetry quotient, sleep sets, and bitstate search (DESIGN.md
+   §5.19) — the same evidence contract E12 established for dedup|por,
+   extended to the new layers. Three captured tables plus in-code gates:
+
+   Table A (quotient ratios): por vs sym at identical bounds on
+   process-symmetric scenarios, [~jobs:1] so every cell is
+   deterministic. Gates: sym's distinct-state quotient reaches >= 5x on
+   at least one N>=4 scenario (the bar E12 set for none/por), sym never
+   explores more runs or states than por on any row, and the sleep-set
+   layer actually fires somewhere (sleep-pruned >= 1) — otherwise the
+   "upgrade, not replacement" claim is vacuous.
+
+   Table B (verdict parity): the full E12 roster at none|dedup|por|sym
+   x jobs (1/2/4 full, 1/2 --quick). Parity is judged on the
+   violated-or-not verdict, NOT on violation strings: under sym a
+   violation is reported for the canonical representative of its orbit,
+   so the pid named in the message legitimately differs from por's, and
+   with jobs > 1 replays race to claim states so run counts wobble
+   (DESIGN.md §5.13). Only the jobs=1 cells are captured.
+
+   Table C (deeper + bitstate): one roster bound deepened by d+1 over
+   E12 — T3 at n=3 d2 c1, ~191k canonical states under sym, the
+   headroom the quotient buys the nightly — searched twice: exact
+   (verdict-authoritative) and bitstate at the same bounds. The
+   bitstate verdict must agree, its occupancy must land in (0, 1), and
+   its runs must not exceed the exact search's (under-report-only:
+   collisions can only prune). Its states cell counts state x budget
+   *pairs* (bitstate forces the Key_mix coding — no per-key budget
+   masks), so it is deliberately not compared against the exact
+   Closure-coded count. All cells jobs=1, so occupancy and the
+   collision bound are deterministic and safe to capture. *)
+let symmetry_sweep ~pool () =
+  let module MC = Harness.Model_check in
+  let rme ?(check_csr = true) stack n model =
+    Harness.Scenarios.rme ~check_csr ~n ~model
+      ~make:(fun mem -> Rme.Stack.recoverable mem stack)
+      ()
+  in
+  let mutex_mcs n =
+    Harness.Scenarios.mutex ~n ~model:Memory.Cc
+      ~make:(fun mem -> Rme.Stack.conventional mem "mcs")
+      ()
+  in
+  let explore ?(stop_on_first = false) ?(jobs = 1) ?vset_mode ~level (d, c, co)
+      sc =
+    MC.explore ~divergence_bound:d ~crash_bound:c ~crash_one_bound:co
+      ~max_runs:600_000 ~stop_on_first ~reduction:level ~jobs ?vset_mode sc
+  in
+  let gate name ok detail =
+    if not ok then
+      failwith (Printf.sprintf "E17 gate failed: %s — %s" name detail)
+  in
+  (* --- Table A: por vs sym quotient ratios --- *)
+  let ratio_roster =
+    [
+      ("Mutex(MCS), n=5 CC, d2", 5, (2, 0, 0), mutex_mcs 5);
+      ("Mutex(MCS), n=4 CC, d3", 4, (3, 0, 0), mutex_mcs 4);
+      ( "Barrier, n=4 CC, 2 epochs, d2 c1", 4, (2, 1, 0),
+        Harness.Scenarios.barrier ~epochs:2 ~n:4 ~model:Memory.Cc () );
+      ("T2 stack, n=2 CC, d2 c1", 2, (2, 1, 0), rme "t2-mcs" 2 Memory.Cc);
+    ]
+  in
+  let ratio_cells =
+    Pool.map pool
+      (fun ((_, _, bounds, sc), level) ->
+        let t0 = Unix.gettimeofday () in
+        let o = explore ~level bounds sc in
+        (o, Unix.gettimeofday () -. t0))
+      (cross ratio_roster [ MC.Por; MC.Sym ])
+  in
+  let best_big_n_ratio = ref 0. and sleep_fired = ref 0 in
+  let ratio_rows =
+    List.map2
+      (fun (name, n, _, _) per_level ->
+        match per_level with
+        | [ ((por : MC.outcome), wall_p); ((sym : MC.outcome), wall_s) ] ->
+          List.iter
+            (fun ((o : MC.outcome), _) ->
+              match o.MC.violations with
+              | [] -> ()
+              | v :: _ -> failwith ("E17: " ^ name ^ ": unexpected violation: " ^ v))
+            per_level;
+          gate
+            (name ^ " quotient dominance")
+            (sym.MC.runs <= por.MC.runs
+            && sym.MC.distinct_states <= por.MC.distinct_states)
+            (Printf.sprintf
+               "sym explored runs=%d states=%d vs por runs=%d states=%d — \
+                the quotient must never enlarge the search"
+               sym.MC.runs sym.MC.distinct_states por.MC.runs
+               por.MC.distinct_states);
+          let ratio =
+            float_of_int por.MC.distinct_states
+            /. float_of_int (max 1 sym.MC.distinct_states)
+          in
+          if n >= 4 then best_big_n_ratio := Float.max !best_big_n_ratio ratio;
+          sleep_fired := !sleep_fired + sym.MC.sleep_pruned;
+          List.iter
+            (fun (which, wall) ->
+              Report.metric
+                ~name:(Printf.sprintf "e17.%s.%s.wall_s" name which)
+                (Sim.Json.Float (Float.round (wall *. 1000.) /. 1000.)))
+            [ ("por", wall_p); ("sym", wall_s) ];
+          [
+            name;
+            string_of_int por.MC.runs;
+            string_of_int sym.MC.runs;
+            string_of_int por.MC.distinct_states;
+            string_of_int sym.MC.distinct_states;
+            Printf.sprintf "%.2f" ratio;
+            string_of_int sym.MC.sleep_pruned;
+          ]
+        | _ -> assert false)
+      ratio_roster
+      (chunks 2 ratio_cells)
+  in
+  Report.metric ~name:"e17.best_sym_states_ratio_n_ge_4"
+    (Sim.Json.Float (Float.round (!best_big_n_ratio *. 100.) /. 100.));
+  gate "sym/por distinct-state quotient, N>=4"
+    (!best_big_n_ratio >= 5.)
+    (Printf.sprintf "best por/sym states ratio %.2f is below the claimed 5x"
+       !best_big_n_ratio);
+  gate "sleep sets live" (!sleep_fired >= 1)
+    "no roster row recorded a sleep-set prune — the layer never fired";
+  Report.table
+    ~title:
+      "E17: symmetry quotient, por vs sym at identical bounds (jobs=1, \
+       sequential searches — every cell deterministic); 'states ratio' is \
+       por/sym distinct states"
+    ~header:
+      [
+        "scenario"; "por runs"; "sym runs"; "por states"; "sym states";
+        "states ratio"; "sleep skips";
+      ]
+    ratio_rows;
+  (* --- Table B: verdict parity on the E12 roster --- *)
+  let parity_roster =
+    [
+      ("T2 stack, n=2 CC, d2 c1", false, false, (2, 1, 0), rme "t2-mcs" 2 Memory.Cc);
+      ("T3 stack, n=3 CC, d1 c1", false, false, (1, 1, 0), rme "t3-mcs" 3 Memory.Cc);
+      ( "FASAS-CLH, n=2 CC, d1, 2 indep. crashes", false, false, (1, 0, 2),
+        rme "rclh-fasas" 2 Memory.Cc );
+      ( "Barrier, n=2 DSM, 3 epochs, d1 c2", false, false, (1, 2, 0),
+        Harness.Scenarios.barrier ~epochs:3 ~n:2 ~model:Memory.Dsm () );
+      ( "T1(MCS) CSR, n=2 CC, d2 c1 — EXPECTED violation", true, true, (2, 1, 0),
+        rme "t1-mcs" 2 Memory.Cc );
+      ( "T3 literal line 97, n=3 CC, d2 — EXPECTED deadlock", true, true,
+        (2, 0, 0), rme "t3-mcs-literal" 3 Memory.Cc );
+    ]
+  in
+  let levels = [ MC.No_reduction; MC.Dedup; MC.Por; MC.Sym ] in
+  let job_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  (* jobs=1 cells (captured) fan across the bench pool; the jobs>1 parity
+     probes run sequentially on this domain afterwards — explore spawns
+     its own worker pool when jobs>1, and nesting pools oversubscribes
+     the host (same reason E10/E13 ignore the pool). *)
+  let parity_seq_cells =
+    Pool.map pool
+      (fun ((_, _, stop_on_first, bounds, sc), level) ->
+        explore ~stop_on_first ~level bounds sc)
+      (cross parity_roster levels)
+  in
+  let parity_rows =
+    List.concat
+      (List.map2
+         (fun (name, expect, stop_on_first, bounds, sc) outcomes ->
+           List.map2
+             (fun level (o : MC.outcome) ->
+               let violated = o.MC.violations <> [] in
+               gate
+                 (Printf.sprintf "%s verdict (%s, jobs=1)" name
+                    (MC.reduction_to_string level))
+                 (violated = expect)
+                 (if expect then "expected a violation, search found none"
+                  else
+                    "unexpected violation: "
+                    ^ String.concat "; " o.MC.violations);
+               List.iter
+                 (fun jobs ->
+                   if jobs > 1 then
+                     let oj = explore ~stop_on_first ~jobs ~level bounds sc in
+                     gate
+                       (Printf.sprintf "%s verdict (%s, jobs=%d)" name
+                          (MC.reduction_to_string level)
+                          jobs)
+                       (oj.MC.violations <> [] = expect)
+                       "jobs>1 verdict differs from the sequential search")
+                 job_counts;
+               [
+                 name;
+                 MC.reduction_to_string level;
+                 string_of_int o.MC.runs ^ (if o.MC.truncated then "+" else "");
+                 string_of_int o.MC.distinct_states;
+                 (if violated then "violated" else "clean");
+               ])
+             levels outcomes)
+         parity_roster
+         (chunks (List.length levels) parity_seq_cells))
+  in
+  Report.table
+    ~title:
+      "E17: verdict parity across reduce none/dedup/por/sym on the E12 \
+       roster (jobs=1 cells; the same searches are re-run at jobs 1/2/4 \
+       full, 1/2 --quick, and any verdict flip aborts the bench — run \
+       counts at jobs>1 race and are not captured)"
+    ~header:[ "scenario"; "reduce"; "runs"; "states"; "verdict" ]
+    parity_rows;
+  (* --- Table C: one bound deeper than E12, exact vs bitstate --- *)
+  let deep_bounds = (2, 1, 0) and deep_sc = rme "t3-mcs" 3 Memory.Cc in
+  let t0 = Unix.gettimeofday () in
+  let exact = explore ~level:MC.Sym deep_bounds deep_sc in
+  let exact_wall = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let bits = 22 in
+  let bit =
+    explore ~level:MC.Sym
+      ~vset_mode:(MC.Bitstate { bits; salt = 0 })
+      deep_bounds deep_sc
+  in
+  let bit_wall = Unix.gettimeofday () -. t0 in
+  Report.metric ~name:"e17.deepened.exact.wall_s"
+    (Sim.Json.Float (Float.round (exact_wall *. 1000.) /. 1000.));
+  Report.metric ~name:"e17.deepened.bitstate.wall_s"
+    (Sim.Json.Float (Float.round (bit_wall *. 1000.) /. 1000.));
+  gate "deepened row clean (exact sym)"
+    (exact.MC.violations = [] && not exact.MC.truncated)
+    (String.concat "; " exact.MC.violations);
+  gate "bitstate verdict parity"
+    (bit.MC.violations = [] && not bit.MC.truncated)
+    (String.concat "; " bit.MC.violations);
+  gate "bitstate under-reports only"
+    (bit.MC.runs <= exact.MC.runs)
+    (Printf.sprintf "bitstate ran %d schedules vs exact %d — collisions \
+                     can only prune" bit.MC.runs exact.MC.runs);
+  let occ, bound =
+    match (bit.MC.bitstate_occupancy, bit.MC.collision_bound) with
+    | Some o, Some b -> (o, b)
+    | _ -> failwith "E17: bitstate search reported no occupancy"
+  in
+  gate "bitstate occupancy sane"
+    (Float.is_finite occ && occ > 0. && occ < 1. && Float.is_finite bound)
+    (Printf.sprintf "occupancy=%f collision_bound=%f" occ bound);
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E17: E12's T3 row one bound deeper (d2 c1) under sym — exact vs \
+          bitstate (2^%d bits, salt 0); bitstate 'states' counts state x \
+          budget pairs (Key_mix coding), not Closure-coded states, so the \
+          two counts are deliberately not compared"
+         bits)
+    ~header:
+      [
+        "search"; "runs"; "steps"; "states"; "occupancy"; "collision bound";
+        "verdict";
+      ]
+    [
+      [
+        "exact (authoritative)"; string_of_int exact.MC.runs;
+        string_of_int exact.MC.steps; string_of_int exact.MC.distinct_states;
+        "-"; "-"; "clean";
+      ];
+      [
+        Printf.sprintf "bitstate 2^%d" bits; string_of_int bit.MC.runs;
+        string_of_int bit.MC.steps; string_of_int bit.MC.distinct_states;
+        Printf.sprintf "%.6f" occ; Printf.sprintf "%.6f" bound; "clean";
+      ];
+    ];
+  Report.table
+    ~title:
+      "E17: gates (enforced in code before this table prints — a failing \
+       gate aborts the experiment and the bench run)"
+    ~header:[ "gate"; "threshold"; "verdict" ]
+    [
+      [
+        "sym/por distinct-state quotient on an N>=4 scenario";
+        ">= 5x at identical bounds"; "pass";
+      ];
+      [ "sym never enlarges the search"; "runs and states <= por, every row";
+        "pass" ];
+      [ "sleep sets fire"; ">= 1 sleep-pruned run across Table A"; "pass" ];
+      [
+        "verdict parity"; "none/dedup/por/sym x jobs (1/2/4 full, 1/2 quick)";
+        "pass";
+      ];
+      [
+        "deepened row + bitstate"; "clean, occupancy in (0,1), runs <= exact";
+        "pass";
+      ];
+    ]
+
 (* E10/E13/E14/E15 deliberately ignore the pool: they spawn their own worker
    domains and measure wall-clock, so sharing cores with bench workers
    would corrupt the numbers. *)
@@ -1664,4 +1955,5 @@ let all : (string * (pool:Pool.t -> unit)) list =
     ("e14", fun ~pool:_ -> native_substrate_ablation ());
     ("e15", fun ~pool:_ -> service_workload ());
     ("e16", fun ~pool -> cross_paper_shootout ~pool ());
+    ("e17", fun ~pool -> symmetry_sweep ~pool ());
   ]

@@ -330,7 +330,12 @@ let model_check_cmd =
       & info [ "co" ]
           ~doc:
             "Independent single-process crash bound (the Golab-Ramaraju \
-             failure model; see experiment E11).")
+             failure model; see experiment E11). Branches every victim \
+             at every choice point. Composes with every $(b,--reduce) \
+             level including $(b,sym): the consumed crash-one budget is \
+             a count, not a victim set, so it is permutation-invariant \
+             and qualifies the visited state exactly as under \
+             $(b,por).")
   in
   let max_runs =
     Arg.(value & opt pos_int 200_000 & info [ "max-runs" ] ~doc:"Run budget.")
@@ -354,15 +359,57 @@ let model_check_cmd =
                ("none", Harness.Model_check.No_reduction);
                ("dedup", Harness.Model_check.Dedup);
                ("por", Harness.Model_check.Por);
+               ("sym", Harness.Model_check.Sym);
              ])
           Harness.Model_check.No_reduction
       & info [ "reduce" ] ~docv:"LEVEL"
           ~doc:
             "State-space reduction: $(b,none) (legacy exhaustive \
              enumeration), $(b,dedup) (prune runs that re-reach a \
-             fingerprinted state at covered budget) or $(b,por) (dedup \
-             plus partial-order reduction of commuting preemptions). \
-             Verdicts are identical at every level.")
+             fingerprinted state at covered budget), $(b,por) (dedup \
+             plus partial-order reduction of commuting preemptions) or \
+             $(b,sym) (por plus process-symmetry quotient and sleep \
+             sets — DESIGN.md \xC2\xA75.19). Verdicts are identical at \
+             every level (E17 pins sym parity empirically; por stays \
+             verdict-authoritative).")
+  in
+  let vset_bits_default = 24 in
+  let vset =
+    Arg.(
+      value
+      & opt (enum [ ("exact", `Exact); ("bitstate", `Bitstate) ]) `Exact
+      & info [ "vset" ] ~docv:"MODE"
+          ~doc:
+            "Visited-set representation under $(b,--reduce): $(b,exact) \
+             (sharded map, verdict-authoritative) or $(b,bitstate) \
+             (fixed-memory double-hashed bit array, SPIN-supertrace \
+             style — for searches whose exact set no longer fits; can \
+             only under-explore, never fabricate a violation; measured \
+             occupancy and collision bound land in the outcome JSON).")
+  in
+  let vset_bits =
+    Arg.(
+      value
+      & opt pos_int vset_bits_default
+      & info [ "vset-bits" ] ~docv:"K"
+          ~doc:
+            "log2 of the bitstate array size in bits (10..36; default \
+             24 = 2 MiB). Ignored under $(b,--vset exact).")
+  in
+  let swarm =
+    Arg.(
+      value & opt nonneg_int 0
+      & info [ "swarm" ] ~docv:"S"
+          ~doc:
+            "Run $(docv) diversified partial searches instead of one \
+             exhaustive one: members cycle through the base bounds, \
+             +1 divergence, +1 crash and +1 crash-one budgets, each \
+             with its own bitstate salt so members miss different \
+             states, fanned over the worker pool ($(b,--jobs) domains; \
+             each member searches sequentially). Any member's violation \
+             fails the gate; $(b,--out) then records the merged outcome \
+             plus a per-member $(b,swarm) array. Implies $(b,--vset \
+             bitstate) for the members.")
   in
   let out =
     Arg.(
@@ -399,7 +446,12 @@ let model_check_cmd =
              (for known-negative gates like scenario-smoke).")
   in
   let run scenario stack model n dbound cbound cobound max_runs passages
-      no_csr reduction out jobs stop_on_first no_shrink expect_violation =
+      no_csr reduction vset vset_bits swarm out jobs stop_on_first no_shrink
+      expect_violation =
+    if vset_bits < 10 || vset_bits > 36 then begin
+      Printf.eprintf "rme: --vset-bits must be in 10..36 (got %d)\n" vset_bits;
+      exit 2
+    end;
     let build = Option.get (Harness.Scenario.find scenario) in
     let sc =
       build
@@ -412,9 +464,164 @@ let model_check_cmd =
           sp_crash_bound = cbound;
         }
     in
-    let o =
-      Harness.Model_check.explore ~divergence_bound:dbound ~crash_bound:cbound
-        ~crash_one_bound:cobound ~max_runs ~reduction ~stop_on_first ~jobs sc
+    let outcome_json (o : Harness.Model_check.outcome) =
+      let open Sim.Json in
+      Obj
+        ([
+           ("runs", Int o.runs);
+           ("steps", Int o.steps);
+           ("step_cap_hits", Int o.step_cap_hits);
+           ("deadlocks", Int o.deadlocks);
+           ("truncated", Bool o.truncated);
+           ("distinct_states", Int o.distinct_states);
+           ("pruned_runs", Int o.pruned_runs);
+           ("pruned_branches", Int o.pruned_branches);
+           ("sleep_pruned", Int o.sleep_pruned);
+         ]
+        @ (match (o.bitstate_occupancy, o.collision_bound) with
+          | Some occ, Some b ->
+            [ ("bitstate_occupancy", Float occ); ("collision_bound", Float b) ]
+          | _ -> [])
+        @ [
+            ("violations", List (List.map (fun v -> Str v) o.violations));
+            ( "witness",
+              match o.witness with
+              | None -> Null
+              | Some w -> List (Array.to_list (Array.map (fun d -> Int d) w))
+            );
+          ])
+    in
+    (* Swarm: S diversified partial searches — member i cycles through
+       {base; d+1; c+1; co+1} bounds and salts its own bitstate, so
+       members miss different states. Each member searches sequentially
+       (jobs=1); the pool fans members across domains. The merged
+       verdict is any-violation-wins. *)
+    let swarm_members =
+      List.init swarm (fun i ->
+          let d, c, co =
+            match i mod 4 with
+            | 0 -> (dbound, cbound, cobound)
+            | 1 -> (dbound + 1, cbound, cobound)
+            | 2 -> (dbound, cbound + 1, cobound)
+            | _ -> (dbound, cbound, cobound + 1)
+          in
+          (i, d, c, co))
+    in
+    let o, swarm_json =
+      if swarm = 0 then begin
+        let vset_mode =
+          match vset with
+          | `Exact -> Harness.Model_check.Exact
+          | `Bitstate ->
+            Harness.Model_check.Bitstate { bits = vset_bits; salt = 0 }
+        in
+        let o =
+          Harness.Model_check.explore ~divergence_bound:dbound
+            ~crash_bound:cbound ~crash_one_bound:cobound ~max_runs ~reduction
+            ~vset_mode ~stop_on_first ~jobs sc
+        in
+        (o, None)
+      end
+      else begin
+        let explore_member (i, d, c, co) =
+          Harness.Model_check.explore ~divergence_bound:d ~crash_bound:c
+            ~crash_one_bound:co ~max_runs ~reduction
+            ~vset_mode:
+              (Harness.Model_check.Bitstate { bits = vset_bits; salt = i + 1 })
+            ~stop_on_first ~jobs:1 sc
+        in
+        let outs =
+          if jobs <= 1 then List.map explore_member swarm_members
+          else
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                Parallel.Pool.map pool explore_member swarm_members)
+        in
+        List.iter2
+          (fun (i, d, c, co) (o : Harness.Model_check.outcome) ->
+            Format.printf "swarm member %d (d=%d c=%d co=%d salt=%d): %a@." i
+              d c co (i + 1) Harness.Model_check.pp_outcome o)
+          swarm_members outs;
+        let seen = Hashtbl.create 16 in
+        let merged : Harness.Model_check.outcome =
+          {
+            runs = List.fold_left (fun a o -> a + o.Harness.Model_check.runs) 0 outs;
+            steps =
+              List.fold_left (fun a o -> a + o.Harness.Model_check.steps) 0 outs;
+            violations =
+              List.concat_map (fun o -> o.Harness.Model_check.violations) outs
+              |> List.filter (fun v ->
+                     if Hashtbl.mem seen v then false
+                     else begin
+                       Hashtbl.add seen v ();
+                       true
+                     end);
+            step_cap_hits =
+              List.fold_left
+                (fun a o -> a + o.Harness.Model_check.step_cap_hits)
+                0 outs;
+            deadlocks =
+              List.fold_left
+                (fun a o -> a + o.Harness.Model_check.deadlocks)
+                0 outs;
+            truncated =
+              List.exists (fun o -> o.Harness.Model_check.truncated) outs;
+            distinct_states =
+              List.fold_left
+                (fun a o -> a + o.Harness.Model_check.distinct_states)
+                0 outs;
+            pruned_runs =
+              List.fold_left
+                (fun a o -> a + o.Harness.Model_check.pruned_runs)
+                0 outs;
+            pruned_branches =
+              List.fold_left
+                (fun a o -> a + o.Harness.Model_check.pruned_branches)
+                0 outs;
+            sleep_pruned =
+              List.fold_left
+                (fun a o -> a + o.Harness.Model_check.sleep_pruned)
+                0 outs;
+            (* Worst member: the merged coverage claim is only as strong
+               as the fullest bit array. *)
+            bitstate_occupancy =
+              List.fold_left
+                (fun a o ->
+                  match (a, o.Harness.Model_check.bitstate_occupancy) with
+                  | None, x | x, None -> x
+                  | Some a, Some b -> Some (Float.max a b))
+                None outs;
+            collision_bound =
+              List.fold_left
+                (fun a o ->
+                  match (a, o.Harness.Model_check.collision_bound) with
+                  | None, x | x, None -> x
+                  | Some a, Some b -> Some (Float.max a b))
+                None outs;
+            witness =
+              List.fold_left
+                (fun a o ->
+                  match a with
+                  | Some _ -> a
+                  | None -> o.Harness.Model_check.witness)
+                None outs;
+          }
+        in
+        let members_json =
+          List.map2
+            (fun (i, d, c, co) o ->
+              Sim.Json.Obj
+                [
+                  ("member", Sim.Json.Int i);
+                  ("divergence_bound", Sim.Json.Int d);
+                  ("crash_bound", Sim.Json.Int c);
+                  ("crash_one_bound", Sim.Json.Int co);
+                  ("salt", Sim.Json.Int (i + 1));
+                  ("outcome", outcome_json o);
+                ])
+            swarm_members outs
+        in
+        (merged, Some (Sim.Json.List members_json))
+      end
     in
     Format.printf "%a@." Harness.Model_check.pp_outcome o;
     let minimized =
@@ -430,50 +637,38 @@ let model_check_cmd =
         let open Sim.Json in
         let doc =
           Obj
-            [
-              ("schema", Str Harness.Report.mc_outcome_schema);
-              ( "config",
-                Obj
-                  [
-                    ("scenario", Str scenario);
-                    ("stack", Str stack);
-                    ("model", Str (Format.asprintf "%a" Sim.Memory.pp_model model));
-                    ("n", Int n);
-                    ("divergence_bound", Int dbound);
-                    ("crash_bound", Int cbound);
-                    ("crash_one_bound", Int cobound);
-                    ("passages", Int passages);
-                    ("max_runs", Int max_runs);
-                    ( "reduce",
-                      Str (Harness.Model_check.reduction_to_string reduction) );
-                    ("check_csr", Bool (not no_csr));
-                  ] );
-              ( "outcome",
-                Obj
-                  [
-                    ("runs", Int o.Harness.Model_check.runs);
-                    ("steps", Int o.Harness.Model_check.steps);
-                    ("step_cap_hits", Int o.Harness.Model_check.step_cap_hits);
-                    ("deadlocks", Int o.Harness.Model_check.deadlocks);
-                    ("truncated", Bool o.Harness.Model_check.truncated);
-                    ( "distinct_states",
-                      Int o.Harness.Model_check.distinct_states );
-                    ("pruned_runs", Int o.Harness.Model_check.pruned_runs);
-                    ( "pruned_branches",
-                      Int o.Harness.Model_check.pruned_branches );
-                    ( "violations",
-                      List
-                        (List.map
-                           (fun v -> Str v)
-                           o.Harness.Model_check.violations) );
-                    ( "witness",
-                      match o.Harness.Model_check.witness with
-                      | None -> Null
-                      | Some w ->
-                        List (Array.to_list (Array.map (fun d -> Int d) w)) );
-                  ] );
-              ("minimized_schedule", minimized_json minimized ~n);
-            ]
+            ([
+               ("schema", Str Harness.Report.mc_outcome_schema);
+               ( "config",
+                 Obj
+                   [
+                     ("scenario", Str scenario);
+                     ("stack", Str stack);
+                     ( "model",
+                       Str (Format.asprintf "%a" Sim.Memory.pp_model model) );
+                     ("n", Int n);
+                     ("divergence_bound", Int dbound);
+                     ("crash_bound", Int cbound);
+                     ("crash_one_bound", Int cobound);
+                     ("passages", Int passages);
+                     ("max_runs", Int max_runs);
+                     ( "reduce",
+                       Str (Harness.Model_check.reduction_to_string reduction)
+                     );
+                     ( "vset",
+                       Str
+                         (if swarm > 0 || vset = `Bitstate then "bitstate"
+                          else "exact") );
+                     ("vset_bits", Int vset_bits);
+                     ("swarm", Int swarm);
+                     ("check_csr", Bool (not no_csr));
+                   ] );
+               ("outcome", outcome_json o);
+             ]
+            @ (match swarm_json with
+              | None -> []
+              | Some members -> [ ("swarm", members) ])
+            @ [ ("minimized_schedule", minimized_json minimized ~n) ])
         in
         write_file file (to_string ~pretty:true doc ^ "\n"))
       out;
@@ -485,8 +680,8 @@ let model_check_cmd =
        ~doc:"Systematically explore schedules (and crash points).")
     Term.(
       const run $ scenario $ stack_arg $ model_arg $ n_arg $ dbound $ cbound
-      $ cobound $ max_runs $ passages $ no_csr $ reduce $ out $ jobs_arg
-      $ stop_on_first $ no_shrink $ expect_violation)
+      $ cobound $ max_runs $ passages $ no_csr $ reduce $ vset $ vset_bits
+      $ swarm $ out $ jobs_arg $ stop_on_first $ no_shrink $ expect_violation)
 
 (* --- scenario: list / describe / run over the shared registry --- *)
 

@@ -1,20 +1,29 @@
 open Sim
 
-type reduction = No_reduction | Dedup | Por
+type reduction = No_reduction | Dedup | Por | Sym
 
 let reduction_of_string s =
   match String.lowercase_ascii s with
   | "none" -> No_reduction
   | "dedup" -> Dedup
   | "por" -> Por
+  | "sym" -> Sym
   | s -> invalid_arg ("Model_check.reduction_of_string: " ^ s)
 
 let reduction_to_string = function
   | No_reduction -> "none"
   | Dedup -> "dedup"
   | Por -> "por"
+  | Sym -> "sym"
 
 let pp_reduction ppf r = Format.pp_print_string ppf (reduction_to_string r)
+
+(* Visited-set representation: the exact sharded map (default,
+   verdict-authoritative) or the fixed-memory double-hashed bit array
+   (Holzmann supertrace — DESIGN.md §5.19). Bitstate cannot store
+   per-key coverage masks, so the engine switches to [Key_mix] budget
+   coding under it (the budget vector folds into the key itself). *)
+type vset_mode = Exact | Bitstate of { bits : int; salt : int }
 
 type outcome = {
   runs : int;
@@ -26,6 +35,9 @@ type outcome = {
   distinct_states : int;
   pruned_runs : int;
   pruned_branches : int;
+  sleep_pruned : int;
+  bitstate_occupancy : float option;
+  collision_bound : float option;
   witness : int array option;
 }
 
@@ -35,6 +47,7 @@ type ctx = {
   on_crash_one : (pid:int -> unit) -> unit;
   on_finish : (unit -> unit) -> unit;
   on_fingerprint : (unit -> int) -> unit;
+  on_sym_fingerprint : (int -> int) -> unit;
 }
 
 type scenario = {
@@ -90,10 +103,34 @@ let describe_decision ~n d =
    cut - 1)], then [alt] (unless it is [no_alt]), then scheduler defaults.
    Sharing keeps the frontier's memory linear in the number of pending
    items — and, because the arrays are immutable once built, items can be
-   replayed on any domain. *)
-type item = { base : int array; cut : int; alt : int }
+   replayed on any domain.
+
+   [div_used]/[crashes_used]/[ones_used] are the budget vector consumed
+   by the forced part (prefix plus [alt]), computed once by the parent at
+   push time: free positions only ever execute the default, so no budget
+   is consumed past [cut + 1] and the child need not recount — which is
+   what lets [Sym]'s sleep-aware default selection diverge from the plain
+   rotation without perturbing budget accounting. [sleep] is the sleep
+   set (bitmask over pids, bit [pid - 1]) valid at position [cut]:
+   productive processes whose next transition was already explored from
+   an earlier sibling of this item — excluded from defaults and
+   branching until a dependent step wakes them (DESIGN.md §5.19). Always
+   0 below [Sym]. *)
+type item = {
+  base : int array;
+  cut : int;
+  alt : int;
+  div_used : int;
+  crashes_used : int;
+  ones_used : int;
+  sleep : int;
+}
 
 let no_alt = min_int
+
+(* Sleep masks live in one native int. Scenarios past that width (never
+   in practice — model-checked n is single-digit) just forgo sleep sets. *)
+let max_sleep_pids = 62
 
 let max_recorded_violations = 20
 
@@ -155,15 +192,17 @@ type run_result = {
   r_steps : int;
   r_capped : bool;
   r_deadlock : bool;
-  r_pruned : bool;  (* truncated at a visited state *)
+  r_pruned : bool;  (* truncated at a visited (or sleep-covered) state *)
   r_por_skips : int;  (* commuting branches not emitted *)
+  r_sleep_skips : int;  (* sleeping branches not emitted *)
   r_violations : string list;  (* in occurrence order *)
   r_children : item list;  (* in push order *)
   r_trace : int array;  (* the full decision sequence this run took *)
 }
 
 let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
-    ~max_steps ~reduction ~vset ~coding ~eager { base; cut; alt } =
+    ~max_steps ~reduction ~vset ~coding ~eager
+    { base; cut; alt; div_used; crashes_used; ones_used; sleep = sleep0 } =
   let local_violations = ref [] in
   let violation msg = local_violations := msg :: !local_violations in
   let mem = Memory.create ~model:scenario.model ~n:scenario.n in
@@ -171,6 +210,7 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
   let crash_one_hooks = ref [] in
   let finish_hooks = ref [] in
   let fp_hooks = ref [] in
+  let sym_hooks = ref [] in
   let ctx =
     {
       violation;
@@ -178,6 +218,7 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
       on_crash_one = (fun h -> crash_one_hooks := h :: !crash_one_hooks);
       on_finish = (fun h -> finish_hooks := h :: !finish_hooks);
       on_fingerprint = (fun h -> fp_hooks := h :: !fp_hooks);
+      on_sym_fingerprint = (fun h -> sym_hooks := h :: !sym_hooks);
     }
   in
   let body = scenario.make_body mem ctx in
@@ -199,15 +240,22 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
   let taken = ref [] in
   let choice_points = ref [] in
   let cur = ref 0 in
-  let divergences = ref 0 in
-  let crashes = ref 0 in
-  let crash_ones = ref 0 in
+  (* The budget consumed by the forced part, precomputed by the parent
+     (see {!item}): free positions always take the default, so these
+     never move past [forced_len]. *)
+  let divergences = ref div_used in
+  let crashes = ref crashes_used in
+  let crash_ones = ref ones_used in
   let pos = ref 0 in
   let steps = ref 0 in
   let capped = ref false in
   let deadlock = ref false in
   let pruned = ref false in
   let por_skips = ref 0 in
+  let sleep_skips = ref 0 in
+  let symred = reduction = Sym in
+  let sleep_on = symred && scenario.n <= max_sleep_pids in
+  let sleep = ref (if sleep_on then sleep0 else 0) in
   (* [enabled] pids that were spin-blocked at the deadlock, for the
      diagnostic and the crash_one branch victims. *)
   let deadlock_enabled = ref [] in
@@ -219,6 +267,67 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
     let h = Encode.mix (Memory.fingerprint mem) (Runtime.fingerprint rt) in
     let h = List.fold_left (fun h hook -> Encode.mix h (hook ())) h !fp_hooks in
     Encode.mix h !cur
+  in
+  (* Symmetry-canonical fingerprint (DESIGN.md §5.19): the residue
+     (globals, cell count, epoch, permutation-invariant monitor parts)
+     mixed with the SORTED per-pid bundle digests — each bundle a
+     pid-independent hash of one process's control point, consumed-value
+     signature, memory slice and monitor slice — plus the canonical rank
+     of the last-stepped process. Two states related by a pid
+     permutation hash equal; sorting quotients the orbit. Monitors that
+     registered only the legacy [on_fingerprint] hook fold it into the
+     residue raw: their pid-valued refs then pin the permutation (fewer
+     merges, still sound — a monitor-distinct state never merges away,
+     the §5.13 footgun). Scratch arrays are per-replay; no allocation
+     per state. *)
+  let sym_bundles = Array.make (max 1 scenario.n) 0 in
+  let sym_fingerprint () =
+    let h0 = Encode.mix (Memory.sym_part mem 0) (Memory.cell_count mem) in
+    let h0 = Encode.mix h0 (Runtime.epoch rt) in
+    let h0 =
+      if !sym_hooks = [] then
+        List.fold_left (fun h hook -> Encode.mix h (hook ())) h0 !fp_hooks
+      else
+        List.fold_left (fun h hook -> Encode.mix h (hook 0)) h0 !sym_hooks
+    in
+    let n = scenario.n in
+    for pid = 1 to n do
+      let b =
+        Encode.mix (Runtime.sym_contribution rt pid) (Memory.sym_part mem pid)
+      in
+      let b =
+        List.fold_left (fun h hook -> Encode.mix h (hook pid)) b !sym_hooks
+      in
+      sym_bundles.(pid - 1) <- b
+    done;
+    let cur_bundle = if !cur = 0 then 0 else sym_bundles.(!cur - 1) in
+    (* Insertion sort: n is single-digit on every model-checked scenario. *)
+    for i = 1 to n - 1 do
+      let v = sym_bundles.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && sym_bundles.(!j) > v do
+        sym_bundles.(!j + 1) <- sym_bundles.(!j);
+        decr j
+      done;
+      sym_bundles.(!j + 1) <- v
+    done;
+    (* Canonical last-stepped process: the rank of its bundle under the
+       canonical order (first match on ties — any permutation mapping
+       the states onto each other maps equal bundles to equal bundles,
+       so the rank is permutation-invariant). *)
+    let canon_cur = ref 0 in
+    if !cur <> 0 then begin
+      let i = ref 0 in
+      while sym_bundles.(!i) <> cur_bundle do
+        incr i
+      done;
+      canon_cur := !i + 1
+    end;
+    let h = ref h0 in
+    for i = 0 to n - 1 do
+      h := Encode.mix !h sym_bundles.(i)
+    done;
+    Encode.mix !h !canon_cur
   in
   (* After executing each decision at a position >= cut (positions before
      the branch point retrace states the parent run already owned and
@@ -235,7 +344,14 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
     match vset with
     | None -> false
     | Some vs ->
-      let fp = state_fingerprint () in
+      let fp = if symred then sym_fingerprint () else state_fingerprint () in
+      (* A state reached with a non-empty sleep set has already ceded
+         part of its subtree to earlier siblings, so it must not stand
+         in for — nor be pruned by — a sleep-free visit (Godefroid's
+         sleep-sets × state-caching interaction): qualify the key by the
+         mask. Raw (pid-indexed) masks merge only across equal masks —
+         conservative, never wrong. *)
+      let fp = if !sleep <> 0 then Encode.mix fp !sleep else fp in
       let bit, closure, key =
         match coding with
         | Closure closures ->
@@ -270,6 +386,66 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
       | Some pid -> pid
       | None -> Option.get (Bitset.first pmask)
   in
+  (* Sleep-aware default ([Sym] only): same run-until-blocked rotation,
+     skipping processes whose next transition an earlier sibling already
+     explored. [None] when every productive process is asleep — the
+     whole remaining subtree is covered elsewhere, so the run truncates
+     (DESIGN.md §5.19). *)
+  let slept q = !sleep land (1 lsl (q - 1)) <> 0 in
+  let rec first_unslept_gt p =
+    match Bitset.first_gt pmask p with
+    | None -> None
+    | Some q -> if slept q then first_unslept_gt q else Some q
+  in
+  let default_unslept () =
+    if !sleep = 0 then Some (default ())
+    else if Bitset.mem pmask !cur && not (slept !cur) then Some !cur
+    else
+      match first_unslept_gt !cur with
+      | Some q -> Some q
+      | None -> first_unslept_gt 0
+  in
+  let footprints_conflict df qf =
+    List.exists
+      (fun (c1, w1) -> List.exists (fun (c2, w2) -> c1 = c2 && (w1 || w2)) qf)
+      df
+  in
+  (* Wake rule: executing a transition removes from the sleep set every
+     process whose pending operation depends on it (Godefroid's
+     independence filter — the slept copy of a dependent transition is
+     no longer covered by its earlier exploration once the order
+     matters). Crashes and opaque (fresh-start) steps depend on
+     everything. Uses pre-execution footprints: called before the
+     decision runs. *)
+  let wake decision =
+    if decision <= 0 then sleep := 0
+    else
+      match Runtime.step_footprint rt decision with
+      | None -> sleep := 0
+      | Some df ->
+        for q = 1 to scenario.n do
+          let bitq = 1 lsl (q - 1) in
+          if !sleep land bitq <> 0 then
+            match Runtime.step_footprint rt q with
+            | None -> sleep := !sleep land lnot bitq
+            | Some qf ->
+              if footprints_conflict df qf then sleep := !sleep land lnot bitq
+        done
+  in
+  (* Productive processes whose next step is opaque (fresh start):
+     excluded from child sleep sets — their first step depends on
+     everything, so sleeping them would only be undone at the next
+     wake. *)
+  let opaque_mask () =
+    let m = ref 0 in
+    Bitset.iter
+      (fun q ->
+        match Runtime.step_footprint rt q with
+        | None -> m := !m lor (1 lsl (q - 1))
+        | Some _ -> ())
+      pmask;
+    !m
+  in
   (* POR: preempting the default process d in favour of q only matters if
      their next operations conflict. When they touch disjoint cells (or
      only read a shared one), d-then-q and q-then-d reach the same state
@@ -295,13 +471,7 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
           else
             match Runtime.step_footprint rt q with
             | None -> Bitset.add dep q
-            | Some qf ->
-              if
-                List.exists
-                  (fun (c1, w1) ->
-                    List.exists (fun (c2, w2) -> c1 = c2 && (w1 || w2)) qf)
-                  df
-              then Bitset.add dep q)
+            | Some qf -> if footprints_conflict df qf then Bitset.add dep q)
         pmask);
     Bitset.snapshot dep
   in
@@ -334,39 +504,60 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
         violation "step cap exceeded (possible livelock)"
       end
       else begin
-        let default_pid = default () in
-        let decision = if !pos < forced_len then forced !pos else default_pid in
-        if !pos >= forced_len then begin
-          let branchable =
-            match reduction with
-            | Por -> Some (branch_mask default_pid)
-            | No_reduction | Dedup -> None
-          in
-          choice_points :=
-            (!pos, Bitset.snapshot pmask, branchable, default_pid,
-             !divergences, !crashes, !crash_ones)
-            :: !choice_points
-        end;
-        if decision = crash_decision then begin
-          incr crashes;
-          Runtime.crash rt ()
-        end
-        else if decision < 0 then begin
-          incr crash_ones;
-          let victim = -decision in
-          Runtime.crash_one rt victim;
-          List.iter (fun h -> h ~pid:victim) !crash_one_hooks
-        end
-        else begin
-          if decision <> default_pid then incr divergences;
-          Runtime.step rt decision;
-          cur := decision
-        end;
-        let p = !pos in
-        taken := decision :: !taken;
-        incr pos;
-        incr steps;
-        if p < cut || not (covered ()) then loop ()
+        let free = !pos >= forced_len in
+        (* Budget accounting is precomputed in the item (free positions
+           always take the default, so nothing is consumed here); the
+           default is therefore free to be sleep-aware without
+           perturbing any counter. *)
+        let default_choice =
+          if sleep_on && free then default_unslept () else Some (default ())
+        in
+        match default_choice with
+        | None ->
+          (* Every productive process is asleep: each pending transition
+             was already explored from an earlier sibling, so the whole
+             remaining subtree is covered — truncate, like a visited
+             state. *)
+          pruned := true
+        | Some default_pid ->
+          let decision = if free then default_pid else forced !pos in
+          if free then begin
+            let branchable =
+              match reduction with
+              | Por | Sym -> Some (branch_mask default_pid)
+              | No_reduction | Dedup -> None
+            in
+            choice_points :=
+              ( !pos,
+                Bitset.snapshot pmask,
+                branchable,
+                default_pid,
+                !divergences,
+                !crashes,
+                !crash_ones,
+                !sleep,
+                if sleep_on then opaque_mask () else 0 )
+              :: !choice_points
+          end;
+          (* The sleep set is valid from [cut] (the item carries the mask
+             for exactly that position); earlier positions retrace
+             ancestor history from before the mask existed. *)
+          if sleep_on && !pos >= cut && !sleep <> 0 then wake decision;
+          if decision = crash_decision then Runtime.crash rt ()
+          else if decision < 0 then begin
+            let victim = -decision in
+            Runtime.crash_one rt victim;
+            List.iter (fun h -> h ~pid:victim) !crash_one_hooks
+          end
+          else begin
+            Runtime.step rt decision;
+            cur := decision
+          end;
+          let p = !pos in
+          taken := decision :: !taken;
+          incr pos;
+          incr steps;
+          if p < cut || not (covered ()) then loop ()
       end
   in
   loop ();
@@ -381,30 +572,128 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
   let push it = children := it :: !children in
   if !deadlock then begin
     (* The deadlock was reached with the full trace taken, so the branch
-       position is the trace's length. *)
+       position is the trace's length. Crash alternatives restart the
+       sleep set: a crash depends on every transition. *)
     if !crashes < crash_bound then
-      push { base = trace; cut = !pos; alt = crash_decision };
+      push
+        {
+          base = trace;
+          cut = !pos;
+          alt = crash_decision;
+          div_used = !divergences;
+          crashes_used = !crashes + 1;
+          ones_used = !crash_ones;
+          sleep = 0;
+        };
     if !crash_ones < crash_one_bound then
       List.iter
-        (fun pid -> push { base = trace; cut = !pos; alt = -pid })
+        (fun pid ->
+          push
+            {
+              base = trace;
+              cut = !pos;
+              alt = -pid;
+              div_used = !divergences;
+              crashes_used = !crashes;
+              ones_used = !crash_ones + 1;
+              sleep = 0;
+            })
         !deadlock_enabled
   end;
   List.iter
-    (fun (i, productive, branchable, default_pid, div_before, crashes_before,
-          crash_ones_before) ->
-      if div_before < divergence_bound then
+    (fun ( i,
+           productive,
+           branchable,
+           default_pid,
+           div_before,
+           crashes_before,
+           crash_ones_before,
+           sleep_at,
+           opaque_at ) ->
+      if div_before < divergence_bound then begin
+        (* Step siblings actually branched from this choice point
+           (productive, not the default, not POR-masked, not asleep), as
+           a bitmask: each child's sleep set carries the siblings
+           explored {e before} it — pop order within a choice point is
+           descending pid, so that is every branched [p > pid] — plus
+           the default (explored first, by the parent run itself), plus
+           the inherited mask; minus opaque processes, whose first step
+           depends on everything. The child's own wake rule at [cut]
+           then drops whatever depends on [alt] (DESIGN.md §5.19). *)
+        let branched =
+          if sleep_on then begin
+            let m = ref 0 in
+            Bitset.iter
+              (fun pid ->
+                if
+                  pid <> default_pid
+                  && sleep_at land (1 lsl (pid - 1)) = 0
+                  &&
+                  match branchable with
+                  | Some mask -> Bitset.mem mask pid
+                  | None -> true
+                then m := !m lor (1 lsl (pid - 1)))
+              productive;
+            !m
+          end
+          else 0
+        in
         Bitset.iter
           (fun pid ->
             if pid <> default_pid then
-              match branchable with
-              | Some mask when not (Bitset.mem mask pid) -> incr por_skips
-              | Some _ | None -> push { base = trace; cut = i; alt = pid })
-          productive;
+              if sleep_on && sleep_at land (1 lsl (pid - 1)) <> 0 then
+                (* Asleep: this transition from this state was already
+                   explored from an earlier sibling — suppress the
+                   branch entirely. *)
+                incr sleep_skips
+              else
+                match branchable with
+                | Some mask when not (Bitset.mem mask pid) -> incr por_skips
+                | Some _ | None ->
+                  let child_sleep =
+                    if sleep_on then
+                      (sleep_at
+                      lor (1 lsl (default_pid - 1))
+                      lor (branched land lnot ((1 lsl pid) - 1)))
+                      land lnot opaque_at
+                      land lnot (1 lsl (pid - 1))
+                    else 0
+                  in
+                  push
+                    {
+                      base = trace;
+                      cut = i;
+                      alt = pid;
+                      div_used = div_before + 1;
+                      crashes_used = crashes_before;
+                      ones_used = crash_ones_before;
+                      sleep = child_sleep;
+                    })
+          productive
+      end;
       if crashes_before < crash_bound then
-        push { base = trace; cut = i; alt = crash_decision };
+        push
+          {
+            base = trace;
+            cut = i;
+            alt = crash_decision;
+            div_used = div_before;
+            crashes_used = crashes_before + 1;
+            ones_used = crash_ones_before;
+            sleep = 0;
+          };
       if crash_ones_before < crash_one_bound then
         for pid = 1 to scenario.n do
-          push { base = trace; cut = i; alt = -pid }
+          push
+            {
+              base = trace;
+              cut = i;
+              alt = -pid;
+              div_used = div_before;
+              crashes_used = crashes_before;
+              ones_used = crash_ones_before + 1;
+              sleep = 0;
+            }
         done)
     !choice_points;
   {
@@ -413,6 +702,7 @@ let replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
     r_deadlock = !deadlock;
     r_pruned = !pruned;
     r_por_skips = !por_skips;
+    r_sleep_skips = !sleep_skips;
     r_violations = List.rev !local_violations;
     r_children = List.rev !children;
     r_trace = trace;
@@ -459,6 +749,7 @@ let run_schedule ?(max_steps = 20_000) ?(delay_window = 8) ~decide scenario =
       on_crash_one = (fun h -> crash_one_hooks := h :: !crash_one_hooks);
       on_finish = (fun h -> finish_hooks := h :: !finish_hooks);
       on_fingerprint = (fun _ -> () (* no visited set on forced replays *));
+      on_sym_fingerprint = (fun _ -> ());
     }
   in
   let body = scenario.make_body mem ctx in
@@ -578,7 +869,7 @@ let last_distinct_states = Atomic.make 0
 
 let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     ?(max_steps = 20_000) ?(max_runs = 200_000) ?(stop_on_first = false)
-    ?(reduction = No_reduction) ?(jobs = 1) ?pool
+    ?(reduction = No_reduction) ?(vset_mode = Exact) ?(jobs = 1) ?pool
     ?(eager_fingerprints = false) scenario =
   let jobs =
     match pool with Some p -> Parallel.Pool.jobs p | None -> max 1 jobs
@@ -586,16 +877,24 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
   let vset =
     match reduction with
     | No_reduction -> None
-    | Dedup | Por ->
-      Some
-        (Parallel.Vset.create ~shards:(4 * jobs)
-           ~initial_capacity:(Atomic.get last_distinct_states)
-           ())
+    | Dedup | Por | Sym -> (
+      match vset_mode with
+      | Exact ->
+        Some
+          (Parallel.Vset.create ~shards:(4 * jobs)
+             ~initial_capacity:(Atomic.get last_distinct_states)
+             ())
+      | Bitstate { bits; salt } ->
+        Some (Parallel.Vset.create_bitstate ~shards:(4 * jobs) ~salt ~bits ()))
   in
   let coding =
     match vset with
     | None -> Key_mix (* unused *)
-    | Some _ -> budget_coding ~divergence_bound ~crash_bound ~crash_one_bound
+    | Some vs ->
+      (* Bitstate stores no per-key mask, so the budget vector must fold
+         into the key itself (sound, just fewer merges). *)
+      if Parallel.Vset.is_bitstate vs then Key_mix
+      else budget_coding ~divergence_bound ~crash_bound ~crash_one_bound
   in
   let replay =
     replay ~scenario ~divergence_bound ~crash_bound ~crash_one_bound
@@ -614,6 +913,7 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
   let deadlocks = ref 0 in
   let pruned_runs = ref 0 in
   let pruned_branches = ref 0 in
+  let sleep_pruned = ref 0 in
   (* First committed violating run's decision sequence. Commits happen in
      sequential DFS order, so under [No_reduction] the witness is
      identical for any [jobs]; under reduction with [jobs > 1] the racing
@@ -638,11 +938,22 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     if r.r_deadlock then incr deadlocks;
     if r.r_pruned then incr pruned_runs;
     pruned_branches := !pruned_branches + r.r_por_skips;
+    sleep_pruned := !sleep_pruned + r.r_sleep_skips;
     List.iter record_violation r.r_violations;
     r.r_children
   in
   let stop () = stop_on_first && !violation_count > 0 in
-  let root = { base = [||]; cut = 0; alt = no_alt } in
+  let root =
+    {
+      base = [||];
+      cut = 0;
+      alt = no_alt;
+      div_used = 0;
+      crashes_used = 0;
+      ones_used = 0;
+      sleep = 0;
+    }
+  in
   let stack = ref [ { it = root; fut = None } ] in
   let pop_commit eval =
     match !stack with
@@ -697,6 +1008,11 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
     | Some p -> parallel p
     | None -> Parallel.Pool.with_pool ~jobs parallel
   end;
+  let bitstate_occupancy, collision_bound =
+    match Option.bind vset Parallel.Vset.stats with
+    | None -> (None, None)
+    | Some (occ, bound) -> (Some occ, Some bound)
+  in
   {
     runs = !runs;
     steps = !steps;
@@ -709,19 +1025,32 @@ let explore ?(divergence_bound = 1) ?(crash_bound = 0) ?(crash_one_bound = 0)
       | None -> 0
       | Some vs ->
         let c = Parallel.Vset.cardinal vs in
-        Atomic.set last_distinct_states c;
+        (* The pre-sizing hint is exact-mode only: a bitstate cardinal is
+           a lower bound, and bitstate allocates no growable tables. *)
+        if not (Parallel.Vset.is_bitstate vs) then
+          Atomic.set last_distinct_states c;
         c);
     pruned_runs = !pruned_runs;
     pruned_branches = !pruned_branches;
+    sleep_pruned = !sleep_pruned;
+    bitstate_occupancy;
+    collision_bound;
     witness = !witness;
   }
 
 let pp_outcome ppf o =
   Format.fprintf ppf
     "@[<v>runs=%d steps=%d cap-hits=%d deadlocks=%d truncated=%b \
-     states=%d pruned-runs=%d pruned-branches=%d violations=%d%a@]"
+     states=%d pruned-runs=%d pruned-branches=%d sleep-pruned=%d%t \
+     violations=%d%a@]"
     o.runs o.steps o.step_cap_hits o.deadlocks o.truncated o.distinct_states
-    o.pruned_runs o.pruned_branches
+    o.pruned_runs o.pruned_branches o.sleep_pruned
+    (fun ppf ->
+      match (o.bitstate_occupancy, o.collision_bound) with
+      | Some occ, Some bound ->
+        Format.fprintf ppf " bitstate-occupancy=%.6f collision-bound=%.2e" occ
+          bound
+      | _ -> ())
     (List.length o.violations)
     (fun ppf vs -> List.iter (fun v -> Format.fprintf ppf "@,  %s" v) vs)
     o.violations

@@ -49,28 +49,78 @@
       step-by-step to the first conflicting position (reached within the
       same default run at no extra divergence cost). Crash branches and
       fresh processes (unknown footprint) are never pruned.
+    - {!Sym}: [Por] plus two further layers (DESIGN.md §5.19). {e
+      Symmetry quotient}: states are fingerprinted by a
+      {e canonical-orbit} digest — per-process (control point,
+      consumed-value signature, memory slice, monitor slice) bundles
+      hashed pid-independently ({!Sim.Memory.sym_part},
+      {!Sim.Runtime.sym_contribution}) and {e sorted}, mixed with a
+      permutation-invariant residue (globals, epoch, cell count) and the
+      canonical rank of the last-stepped process — so two states related
+      by a process-id permutation merge in the visited set. {e Sleep
+      sets}: on top of POR's commutation test, each work item carries the
+      set of processes whose pending transition an earlier sibling
+      already explored from the same choice point; they are excluded
+      from defaults and branching until a dependent (footprint-
+      conflicting) step wakes them, crashes and fresh-start steps waking
+      everyone. Sleeping branches are suppressed entirely
+      ([sleep_pruned]); a run whose every productive process sleeps
+      truncates like a visited state.
 
-    Soundness caveats, both documented in DESIGN.md §5.13: a fingerprint
-    collision (64-bit mixed hash) could suppress exploration of a
-    genuinely new state — it can never fabricate a violation — and runs
-    truncated by [max_steps] lose the deferred branches beyond the cap
-    (capped runs already report a violation, so the signal survives).
+    Soundness caveats, documented in DESIGN.md §5.13 and §5.19: a
+    fingerprint collision (64-bit mixed hash) could suppress exploration
+    of a genuinely new state — it can never fabricate a violation — and
+    runs truncated by [max_steps] lose the deferred branches beyond the
+    cap (capped runs already report a violation, so the signal survives).
     Scenario monitors that keep verdict-relevant state outside shared
     memory {e must} register it via [ctx.on_fingerprint]; otherwise two
-    states the monitor distinguishes could be merged. *)
+    states the monitor distinguishes could be merged. Under {!Sym},
+    monitors that registered only the legacy [on_fingerprint] hook have
+    their hash folded into the permutation-invariant residue {e raw} —
+    pid-valued monitor state then pins the permutation (fewer merges,
+    never a lost violation); monitors register the per-pid split via
+    [on_sym_fingerprint] (or {!Scenario}'s builder, which derives both
+    hooks) to recover full merging. {!Sym} composes with the preemption
+    budget: a state's orbit representative may first be reached down a
+    schedule whose remaining budget differs, so [sym] may {e explore
+    less} of the quotient than [por] explores of the full space — it is
+    an opt-in accelerator; [por] remains the verdict-authoritative
+    reduction level, and E17 pins verdict parity empirically across the
+    E9/E12 roster. Crash state stays inside the orbit computation: the
+    epoch is in the residue and each process's restart status is in its
+    bundle, so a crashed-and-restarted process only ever merges with
+    another restarted process. *)
 
 (** How aggressively to prune the schedule tree. [No_reduction] is the
     legacy exhaustive enumeration, byte-identical to pre-reduction
-    behaviour. *)
-type reduction = No_reduction | Dedup | Por
+    behaviour. Levels are cumulative: [Sym] includes [Por] includes
+    [Dedup]. *)
+type reduction = No_reduction | Dedup | Por | Sym
 
 val reduction_of_string : string -> reduction
-(** Parses ["none" | "dedup" | "por"] (case-insensitive).
+(** Parses ["none" | "dedup" | "por" | "sym"] (case-insensitive).
     @raise Invalid_argument otherwise. *)
 
 val reduction_to_string : reduction -> string
 
 val pp_reduction : Format.formatter -> reduction -> unit
+
+(** Visited-set representation for the reduction levels that keep one
+    ({!Dedup} and up). {!Exact} (default) is the sharded hash map —
+    verdict-authoritative, grows with the state count. [Bitstate] is a
+    fixed-memory double-hashed bit array (Holzmann supertrace,
+    {!Parallel.Vset.create_bitstate}): [2^bits] bits allocated up front,
+    never grown — for searches whose exact set no longer fits. A hash
+    collision in bitstate {e prunes} exploration (same failure direction
+    as an exact-mode fingerprint collision, just more probable); it can
+    never fabricate a state or a violation, and the measured occupancy
+    and collision-probability bound are reported in the outcome so the
+    coverage loss is always visible next to the verdict. [salt]
+    diversifies the probe-bit mapping so swarm members miss {e
+    different} states. Bitstate stores no per-key coverage mask, so the
+    engine folds the consumed-budget vector into the key itself
+    (key-mix coding — sound, fewer merges). *)
+type vset_mode = Exact | Bitstate of { bits : int; salt : int }
 
 type outcome = {
   runs : int;  (** schedules executed (pruned replays included) *)
@@ -89,7 +139,15 @@ type outcome = {
       (** runs truncated at a state an earlier run had already covered *)
   pruned_branches : int;
       (** preemption branches skipped by partial-order reduction ([Por]
-          only) *)
+          and up) *)
+  sleep_pruned : int;
+      (** preemption branches suppressed by sleep sets ([Sym] only) *)
+  bitstate_occupancy : float option;
+      (** fraction of bits set in the bitstate array ([None] in exact
+          mode) *)
+  collision_bound : float option;
+      (** estimated probability that the next fresh state is wrongly
+          reported covered, ≈ occupancy² ([None] in exact mode) *)
   witness : int array option;
       (** the decision sequence of the first {e committed} violating run,
           replayable via {!run_schedule} (and minimizable via
@@ -116,6 +174,18 @@ type ctx = {
           state lives outside shared memory, so without this hook two
           monitor-distinct states would be merged and a violation could be
           pruned away. No-op when [reduction = No_reduction]. *)
+  on_sym_fingerprint : (int -> int) -> unit;
+      (** register the {e permutation-aware} split of the monitor hash,
+          used by [reduction = Sym] in place of [on_fingerprint]: the
+          hook is called with [0] for the permutation-invariant residue
+          (seed pid-independent folds with {!Sim.Encode.sym_seed}) and
+          with each [pid >= 1] for that process's monitor slice, mixed
+          into the process's orbit bundle. A monitor registering this
+          {e must} still register the legacy [on_fingerprint] (other
+          levels use only that); {!Scenario}'s builder derives both from
+          one declaration. When no scenario registers a sym hook, [Sym]
+          folds the legacy hashes into the residue raw — sound, just
+          pid-pinned. No-op below [Sym]. *)
 }
 
 type scenario = {
@@ -132,6 +202,7 @@ val explore :
   ?max_runs:int ->
   ?stop_on_first:bool ->
   ?reduction:reduction ->
+  ?vset_mode:vset_mode ->
   ?jobs:int ->
   ?pool:Parallel.Pool.t ->
   ?eager_fingerprints:bool ->
@@ -145,7 +216,10 @@ val explore :
     [max_runs = 200_000], [stop_on_first = false] (when true, the search
     stops at the first recorded violation — useful for exhibiting a known
     bug cheaply), [reduction = No_reduction] (the legacy exhaustive
-    enumeration; see the module preamble for [Dedup]/[Por]).
+    enumeration; see the module preamble for [Dedup]/[Por]/[Sym]),
+    [vset_mode = Exact] (see {!vset_mode} for the fixed-memory bitstate
+    alternative; ignored under [No_reduction], which keeps no visited
+    set).
 
     [jobs] (default 1) replays schedules on a domain pool: pending work
     items near the top of the DFS stack are evaluated speculatively in

@@ -239,31 +239,88 @@ let validate_mc_outcome json =
     | Obj _ -> Ok ()
     | _ -> Error "config: expected an object"
   in
-  let* o = need "outcome" (member "outcome" json) in
-  let* () =
-    match o with Obj _ -> Ok () | _ -> Error "outcome: expected an object"
+  (* One outcome object — the top-level one or a swarm member's. The
+     sleep/bitstate members are optional (older files predate them);
+     when present the floats must be finite (an occupancy or collision
+     bound of NaN/inf means the producer leaked a sentinel). *)
+  let finite_opt what = function
+    | Int _ -> Ok ()
+    | Float f when Float.is_finite f -> Ok ()
+    | Float _ -> Error (Printf.sprintf "%s: must be a finite number" what)
+    | _ -> Error (Printf.sprintf "%s: expected a number" what)
   in
-  let* () =
+  let check_outcome what o =
+    let* () =
+      match o with
+      | Obj _ -> Ok ()
+      | _ -> Error (what ^ ": expected an object")
+    in
+    let* () =
+      List.fold_left
+        (fun acc key ->
+          let* () = acc in
+          let w = what ^ "." ^ key in
+          let* v = need w (member key o) in
+          int_ w v)
+        (Ok ())
+        [
+          "runs"; "steps"; "step_cap_hits"; "deadlocks"; "distinct_states";
+          "pruned_runs"; "pruned_branches";
+        ]
+    in
+    let* truncated = need (what ^ ".truncated") (member "truncated" o) in
+    let* () = bool_ (what ^ ".truncated") truncated in
+    let* violations = need (what ^ ".violations") (member "violations" o) in
+    let* () = str_list (what ^ ".violations") violations in
+    let* () =
+      match member "witness" o with
+      | None | Some Null -> Ok ()
+      | Some w -> int_list (what ^ ".witness") w
+    in
+    let* () =
+      match member "sleep_pruned" o with
+      | None -> Ok ()
+      | Some v -> int_ (what ^ ".sleep_pruned") v
+    in
     List.fold_left
       (fun acc key ->
         let* () = acc in
-        let what = "outcome." ^ key in
-        let* v = need what (member key o) in
-        int_ what v)
+        match member key o with
+        | None | Some Null -> Ok ()
+        | Some v -> finite_opt (what ^ "." ^ key) v)
       (Ok ())
-      [
-        "runs"; "steps"; "step_cap_hits"; "deadlocks"; "distinct_states";
-        "pruned_runs"; "pruned_branches";
-      ]
+      [ "bitstate_occupancy"; "collision_bound" ]
   in
-  let* truncated = need "outcome.truncated" (member "truncated" o) in
-  let* () = bool_ "outcome.truncated" truncated in
-  let* violations = need "outcome.violations" (member "violations" o) in
-  let* () = str_list "outcome.violations" violations in
+  let* o = need "outcome" (member "outcome" json) in
+  let* () = check_outcome "outcome" o in
+  (* A swarm search records each diversified member next to the merged
+     top-level outcome: its varied bounds, its bitstate salt, and a full
+     outcome object of its own. *)
   let* () =
-    match member "witness" o with
-    | None | Some Null -> Ok ()
-    | Some w -> int_list "outcome.witness" w
+    match member "swarm" json with
+    | None -> Ok ()
+    | Some (List ms) ->
+      List.fold_left
+        (fun acc (idx, m) ->
+          let* () = acc in
+          let what fmt = Printf.sprintf "swarm[%d].%s" idx fmt in
+          let* () =
+            List.fold_left
+              (fun acc key ->
+                let* () = acc in
+                let* v = need (what key) (member key m) in
+                int_ (what key) v)
+              (Ok ())
+              [
+                "member"; "divergence_bound"; "crash_bound";
+                "crash_one_bound"; "salt";
+              ]
+          in
+          let* o = need (what "outcome") (member "outcome" m) in
+          check_outcome (Printf.sprintf "swarm[%d].outcome" idx) o)
+        (Ok ())
+        (List.mapi (fun idx m -> (idx, m)) ms)
+    | Some _ -> Error "swarm: expected an array"
   in
   (* The minimized schedule is Null when the search was clean (or
      shrinking was disabled); otherwise its trace must replay the

@@ -80,7 +80,12 @@ val validate_mc_outcome : Sim.Json.t -> (unit, string) result
     string violations, an optional integer [witness] array, and a
     [minimized_schedule] that is either [Null] or carries the minimized
     decision trace, its [(pos, decision, meaning)] interventions, and
-    the shrinking statistics (DESIGN.md §5.16). *)
+    the shrinking statistics (DESIGN.md §5.16). The §5.19 additions are
+    optional (older files stay valid): an integer [sleep_pruned],
+    finite-float [bitstate_occupancy]/[collision_bound] (NaN/inf
+    rejected — a non-finite bound means the producer leaked a
+    sentinel), and a top-level [swarm] array whose members each carry
+    their varied bounds, bitstate salt, and a full outcome object. *)
 
 val f1 : float -> string
 (** Format a float with one decimal. *)

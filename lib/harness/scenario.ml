@@ -93,6 +93,25 @@ let assemble t ~capture mem (ctx : Model_check.ctx) =
       List.fold_left Encode.mix_array
         (Encode.mix_refs Encode.fingerprint_seed refs)
         arrays);
+  (* Permutation-aware split for --reduce sym (DESIGN.md §5.19): monitor
+     refs fold into the residue (k = 0) — pid-valued refs like the
+     occupant then pin the permutation, which only costs merges, never
+     soundness — while the pid-indexed arrays contribute element [pid]
+     to that process's orbit bundle (k >= 1), so per-process progress
+     counters permute with the process. Arrays here are pid-indexed of
+     length n+1 by contract (index 0 is folded into the residue with the
+     refs). The legacy fold above is untouched: every level below [Sym]
+     still sees the exact historical hash. *)
+  ctx.on_sym_fingerprint (fun k ->
+      if k = 0 then
+        List.fold_left
+          (fun h (a : int array) -> Encode.mix h a.(0))
+          (Encode.mix_refs Encode.sym_seed refs)
+          arrays
+      else
+        List.fold_left
+          (fun h (a : int array) -> Encode.mix h a.(k))
+          Encode.sym_seed arrays);
   let chain sel =
     match List.filter_map sel mons with
     | [] -> nop

@@ -41,6 +41,12 @@ let mix h v =
 
 let fingerprint_seed = 0x1A2B3C4D5E6F
 
+(* Seed for the symmetry-canonical digests (DESIGN.md §5.19). Distinct
+   from [fingerprint_seed] so a symmetry-quotient digest can never
+   collide structurally with the raw Zobrist digest over the same
+   slots: the two hash domains are disjoint by seed. *)
+let sym_seed = 0x53594D
+
 let mix_array h a = Array.fold_left mix h a
 
 let mix_refs h refs = List.fold_left (fun h r -> mix h !r) h refs

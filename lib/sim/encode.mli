@@ -57,6 +57,12 @@ val mix_refs : int -> int ref list -> int
 val fingerprint_seed : int
 (** Canonical initial accumulator for a fingerprint fold. *)
 
+val sym_seed : int
+(** Seed for the pid-independent per-slice keys of the symmetry-quotient
+    digests ({!Memory.sym_part}, {!Runtime.sym_contribution} — DESIGN.md
+    §5.19). Distinct from {!fingerprint_seed} so canonical digests and
+    raw Zobrist digests live in disjoint hash domains. *)
+
 val zobrist : int -> int -> int
 (** [zobrist slot v] is the Zobrist-style contribution of value [v] held
     in [slot]: [mix (mix fingerprint_seed slot) v]. XOR-combining one

@@ -21,6 +21,14 @@ type cell = {
   name : string;
   home : int;
   zkey : int;
+  (* Symmetry-slice assignment (DESIGN.md §5.19): [sym_owner] is 0 for
+     residue cells ({!global}s — pid-independent identity) and the home
+     pid for per-process cells; [sym_key] is the cell's pid-independent
+     Zobrist key inside its slice — keyed by per-owner allocation order,
+     not by [id], so the k-th cell of pid i and the k-th cell of pid j
+     share a key and permutation-related states share slice digests. *)
+  sym_owner : int;
+  sym_key : int;
   mutable value : int;
   mutable dirty : bool;
   readers : int array;
@@ -49,6 +57,16 @@ type t = {
      write (DESIGN.md §5.14). *)
   mutable fp : int;
   mutable fp_live : bool;
+  (* Per-owner symmetry digests, index 0 the residue: [sym.(o)] is the
+     xor over cells owned by [o] of [Encode.mix sym_key value].
+     Maintained incrementally only once [sym_live] — flipped by the
+     first {!sym_part} call — so everything except [--reduce sym] pays
+     one dead branch per write (mirrors [fp]/[fp_live], DESIGN.md
+     §5.19). [sym_slots.(o)] is the next slice-slot index for owner [o]
+     (drives [sym_key] assignment at allocation). *)
+  sym : int array;
+  mutable sym_live : bool;
+  sym_slots : int array;
   (* Dirty-set snapshot support: [snap] holds the values as of the last
      {!snapshot} call; [dirty_ids]'s first [n_dirty] entries are the ids
      written since, so the next snapshot patches only those. *)
@@ -85,6 +103,9 @@ let create ~model ~n =
     n_cells = 0;
     fp = 0;
     fp_live = false;
+    sym = Array.make (n + 1) 0;
+    sym_live = false;
+    sym_slots = Array.make (n + 1) 0;
     snap = [||];
     dirty_ids = Array.make 8 0;
     n_dirty = 0;
@@ -106,15 +127,29 @@ let push_dirty t id =
   t.dirty_ids.(t.n_dirty) <- id;
   t.n_dirty <- t.n_dirty + 1
 
-let cell t ~name ~home init =
+(* Residue cells keep a distinct negative-keyed domain ([lnot id]) so a
+   global and a slice cell can never share a [sym_key]; slice cells are
+   keyed by their per-owner allocation slot, which is what lines the
+   k-th cell of every pid up under relabeling. *)
+let alloc t ~name ~home ~sym_owner init =
   if home < 1 || home > t.n then invalid_arg "Memory.cell: bad home";
   let id = t.n_cells in
+  let sym_key =
+    if sym_owner = 0 then Encode.mix Encode.sym_seed (lnot id)
+    else begin
+      let slot = t.sym_slots.(sym_owner) in
+      t.sym_slots.(sym_owner) <- slot + 1;
+      Encode.mix Encode.sym_seed slot
+    end
+  in
   let c =
     {
       id;
       name;
       home;
       zkey = Encode.mix Encode.fingerprint_seed id;
+      sym_owner;
+      sym_key;
       value = init;
       dirty = true;
       readers = Array.make t.words 0;
@@ -130,9 +165,13 @@ let cell t ~name ~home init =
   t.n_cells <- id + 1;
   push_dirty t id;
   if t.fp_live then t.fp <- t.fp lxor Encode.mix c.zkey init;
+  if t.sym_live then
+    t.sym.(sym_owner) <- t.sym.(sym_owner) lxor Encode.mix sym_key init;
   c
 
-let global t ~name init = cell t ~name ~home:1 init
+let cell t ~name ~home init = alloc t ~name ~home ~sym_owner:home init
+
+let global t ~name init = alloc t ~name ~home:1 ~sym_owner:0 init
 
 let name c = c.name
 let home c = c.home
@@ -172,6 +211,18 @@ let fingerprint t =
   if not t.fp_live then resync t;
   Encode.mix (Encode.mix Encode.fingerprint_seed t.n_cells) t.fp
 
+let sym_resync t =
+  Array.fill t.sym 0 (Array.length t.sym) 0;
+  for i = 0 to t.n_cells - 1 do
+    let c = t.cells.(i) in
+    t.sym.(c.sym_owner) <- t.sym.(c.sym_owner) lxor Encode.mix c.sym_key c.value
+  done;
+  t.sym_live <- true
+
+let sym_part t k =
+  if not t.sym_live then sym_resync t;
+  t.sym.(k)
+
 let fingerprint_slow t =
   let acc = ref 0 in
   for i = 0 to t.n_cells - 1 do
@@ -189,6 +240,11 @@ let[@inline] set_value t c v =
   if v <> c.value then begin
     if t.fp_live then
       t.fp <- t.fp lxor Encode.mix c.zkey c.value lxor Encode.mix c.zkey v;
+    if t.sym_live then begin
+      let o = c.sym_owner in
+      t.sym.(o) <-
+        t.sym.(o) lxor Encode.mix c.sym_key c.value lxor Encode.mix c.sym_key v
+    end;
     c.value <- v;
     if not c.dirty then begin
       c.dirty <- true;

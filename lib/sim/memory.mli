@@ -75,6 +75,23 @@ val fingerprint : t -> int
     cache residency affects RMR accounting, never values or control
     flow. Observer API — no step or RMR is charged. *)
 
+val sym_part : t -> int -> int
+(** [sym_part t k] is the symmetry-slice digest of owner [k] (DESIGN.md
+    §5.19): for [k >= 1], the xor over cells allocated with [~home:k]
+    through {!cell} of a {e pid-independent} Zobrist contribution (keyed
+    by the cell's per-owner allocation slot, so the k-th cell of every
+    pid shares a key); [sym_part t 0] is the residue — every {!global},
+    keyed by identity. Two states related by a process-id permutation π
+    have equal residues and [sym_part i = sym_part (π i)] pointwise,
+    which is what lets the model checker's [--reduce sym] sort the
+    per-pid digests into a canonical orbit representative. Like
+    {!fingerprint}, maintenance is enabled lazily by the first call (an
+    O(cells) resync); until then writes pay one dead branch. A cell
+    allocated through {!cell} with a home that is not "the pid this cell
+    belongs to under relabeling" merely pins that pid's slice (fewer
+    merges, never a false merge beyond ordinary hash collisions).
+    Observer API — no step or RMR is charged. *)
+
 val fingerprint_slow : t -> int
 (** From-scratch recomputation of {!fingerprint} over all live cells —
     O(cells), and it neither reads nor enables the incremental digest.

@@ -370,6 +370,19 @@ let[@inline] contribution t pid =
     (Encode.mix t.zp.(pid) (slot_tag t.slots.(pid)))
     t.local_sig.(pid)
 
+(* Pid-independent analogue of [contribution] for the symmetry quotient
+   (DESIGN.md §5.19): same (slot tag, consumed-value signature) payload,
+   keyed by [sym_seed] instead of the per-pid [zp] key, so two processes
+   at the same control point with the same consumed-value history
+   contribute equally regardless of their ids. [lnot] keeps the tag
+   domain disjoint from Memory's slice-slot keys (hygiene, mirrors
+   [zp]'s negative slots). Computed on demand — nothing incremental to
+   maintain, no effect on any hot path. *)
+let[@inline] sym_contribution t pid =
+  Encode.mix
+    (Encode.mix Encode.sym_seed (lnot (slot_tag t.slots.(pid))))
+    t.local_sig.(pid)
+
 let step t pid =
   (match t.faults with
   | None -> ()

@@ -156,6 +156,18 @@ val fingerprint_slow : t -> int
     enables the incremental digest. Always equal to {!fingerprint} —
     cross-checked by [test/test_fingerprint.ml]. *)
 
+val sym_contribution : t -> int -> int
+(** [sym_contribution t pid] is [pid]'s {e pid-independent} control-state
+    digest: the same (slot kind, consumed-value signature) payload that
+    feeds {!fingerprint}, but keyed by {!Encode.sym_seed} rather than a
+    per-pid Zobrist key — two processes at the same control point with
+    the same consumed-value history contribute equally regardless of id.
+    The model checker's symmetry quotient ([--reduce sym], DESIGN.md
+    §5.19) bundles it with {!Memory.sym_part} per pid and sorts the
+    bundles into a canonical orbit representative. Note the epoch is NOT
+    included (it is permutation-invariant; the caller mixes it into the
+    residue). Computed on demand; observer API. *)
+
 val step_footprint : t -> int -> (int * bool) list option
 (** The shared-memory accesses [(cell id, may_write)] that [step t pid]
     would perform right now: the suspended operation's footprint, or the

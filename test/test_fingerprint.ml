@@ -129,6 +129,7 @@ let runtime_storm ~scenario ~crash_ones () =
       on_crash_one = (fun _ -> ());
       on_finish = (fun _ -> ());
       on_fingerprint = (fun _ -> ());
+      on_sym_fingerprint = (fun _ -> ());
     }
   in
   let body = sc.MC.make_body mem ctx in

@@ -108,6 +108,7 @@ let levels =
     Harness.Model_check.No_reduction;
     Harness.Model_check.Dedup;
     Harness.Model_check.Por;
+    Harness.Model_check.Sym;
   ]
 
 let level_name = Harness.Model_check.reduction_to_string
@@ -177,7 +178,11 @@ let reduction_preserves_clean_verdicts () =
                 (what ^ ": runs never grow") true
                 (o.Harness.Model_check.runs <= base.Harness.Model_check.runs))
             [ 1; 2; 4 ])
-        [ Harness.Model_check.Dedup; Harness.Model_check.Por ])
+        [
+          Harness.Model_check.Dedup;
+          Harness.Model_check.Por;
+          Harness.Model_check.Sym;
+        ])
     roster
 
 (* ... and every planted bug must still be found at every level. *)
@@ -281,6 +286,7 @@ let reduction_actually_prunes () =
   let none = explore Harness.Model_check.No_reduction in
   let dedup = explore Harness.Model_check.Dedup in
   let por = explore Harness.Model_check.Por in
+  let sym = explore Harness.Model_check.Sym in
   Alcotest.(check bool)
     "dedup < none" true
     (dedup.Harness.Model_check.runs < none.Harness.Model_check.runs);
@@ -288,11 +294,127 @@ let reduction_actually_prunes () =
     "por <= dedup" true
     (por.Harness.Model_check.runs <= dedup.Harness.Model_check.runs);
   Alcotest.(check bool)
+    "sym <= por" true
+    (sym.Harness.Model_check.runs <= por.Harness.Model_check.runs);
+  Alcotest.(check bool)
     "por skipped branches" true
     (por.Harness.Model_check.pruned_branches > 0);
   Alcotest.(check bool)
     "states recorded" true
     (dedup.Harness.Model_check.distinct_states > 0)
+
+(* The symmetry quotient must actually merge pid-permuted states: on a
+   symmetric workload (every process runs the identical mutex passage)
+   the canonical-orbit fingerprint maps permutation-related states to
+   one representative, so the distinct-state count drops strictly below
+   POR's — while the verdict stays clean. *)
+let sym_quotients_symmetric_states () =
+  let explore reduction =
+    Harness.Model_check.explore ~divergence_bound:2 ~reduction
+      (Harness.Scenarios.mutex ~n:4 ~model:Memory.Cc
+         ~make:(fun mem -> Rme.Stack.conventional mem "mcs")
+         ())
+  in
+  let por = explore Harness.Model_check.Por in
+  let sym = explore Harness.Model_check.Sym in
+  Alcotest.(check (list string)) "por clean" [] por.Harness.Model_check.violations;
+  Alcotest.(check (list string)) "sym clean" [] sym.Harness.Model_check.violations;
+  Alcotest.(check bool)
+    "sym states < por states" true
+    (sym.Harness.Model_check.distinct_states
+    < por.Harness.Model_check.distinct_states);
+  Alcotest.(check bool)
+    "sym runs < por runs" true
+    (sym.Harness.Model_check.runs < por.Harness.Model_check.runs)
+
+(* Crash state must stay inside the orbit computation: the T1(MCS) CSR
+   violation (which needs a crash inside the CS and a pid-asymmetric
+   follow-up) must survive the quotient, with and without the sleep-set
+   layer's branch suppression. *)
+let sym_preserves_crash_violations () =
+  let sc =
+    Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+      ~make:(fun mem -> Rme.Stack.recoverable mem "t1-mcs")
+      ()
+  in
+  let o =
+    Harness.Model_check.explore ~divergence_bound:2 ~crash_bound:1
+      ~reduction:Harness.Model_check.Sym ~stop_on_first:true sc
+  in
+  Alcotest.(check bool)
+    "sym finds the CSR violation" true
+    (o.Harness.Model_check.violations <> [])
+
+(* Bitstate mode can only under-explore (a probe-bit collision prunes
+   like a fingerprint collision), never fabricate: runs never exceed the
+   exhaustive enumeration's, clean scenarios stay clean, and the outcome
+   reports a finite occupancy and collision bound. (Counts are NOT
+   comparable against the exact-mode reduced search: bitstate forces
+   key-mix budget coding, so its "distinct states" are state x budget
+   pairs while exact closure coding counts states — the honest
+   under-report contract is pinned per-key in test_parallel.ml.) *)
+let bitstate_underreports_never_fabricates () =
+  let sc () =
+    Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+      ~make:(fun mem -> Rme.Stack.recoverable mem "t2-mcs")
+      ()
+  in
+  let none =
+    Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1 (sc ())
+  in
+  List.iter
+    (fun reduction ->
+      let exact =
+        Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1
+          ~reduction (sc ())
+      in
+      let bit =
+        Harness.Model_check.explore ~divergence_bound:1 ~crash_bound:1
+          ~reduction
+          ~vset_mode:(Harness.Model_check.Bitstate { bits = 18; salt = 0 })
+          (sc ())
+      in
+      let what s = level_name reduction ^ " " ^ s in
+      Alcotest.(check (list string))
+        (what "bitstate clean") [] bit.Harness.Model_check.violations;
+      Alcotest.(check bool)
+        (what "bitstate runs <= exhaustive") true
+        (bit.Harness.Model_check.runs <= none.Harness.Model_check.runs);
+      Alcotest.(check bool)
+        (what "bitstate actually prunes") true
+        (bit.Harness.Model_check.pruned_runs > 0);
+      (match bit.Harness.Model_check.bitstate_occupancy with
+      | Some occ -> Alcotest.(check bool) (what "occupancy finite+positive")
+          true (Float.is_finite occ && occ > 0.)
+      | None -> Alcotest.fail (what "occupancy missing"));
+      (match bit.Harness.Model_check.collision_bound with
+      | Some b -> Alcotest.(check bool) (what "collision bound finite")
+          true (Float.is_finite b && b >= 0. && b < 1.)
+      | None -> Alcotest.fail (what "collision bound missing"));
+      Alcotest.(check (option Alcotest.(pair (float 0.) (float 0.))))
+        (what "exact mode reports no occupancy")
+        None
+        (match
+           ( exact.Harness.Model_check.bitstate_occupancy,
+             exact.Harness.Model_check.collision_bound )
+         with
+        | Some a, Some b -> Some (a, b)
+        | _ -> None))
+    [ Harness.Model_check.Dedup; Harness.Model_check.Sym ];
+  (* A generously sized bit array misses nothing on this small space, so
+     the planted CSR violation must still be found under bitstate. *)
+  let o =
+    Harness.Model_check.explore ~divergence_bound:2 ~crash_bound:1
+      ~reduction:Harness.Model_check.Sym
+      ~vset_mode:(Harness.Model_check.Bitstate { bits = 20; salt = 7 })
+      ~stop_on_first:true
+      (Harness.Scenarios.rme ~n:2 ~model:Memory.Cc
+         ~make:(fun mem -> Rme.Stack.recoverable mem "t1-mcs")
+         ())
+  in
+  Alcotest.(check bool)
+    "bitstate sym still finds the CSR violation" true
+    (o.Harness.Model_check.violations <> [])
 
 (* Budget bounds whose clamped vector space exceeds one word fall back to
    mixing the budget vector into the fingerprint key (Key_mix). 8*8 = 64
@@ -342,5 +464,8 @@ let () =
           case "none-counters-zero" no_reduction_reports_zero_counters;
           case "actually-prunes" reduction_actually_prunes;
           case "key-mix-fallback" key_mix_fallback_still_sound;
+          case "sym-quotients" sym_quotients_symmetric_states;
+          case "sym-crash-violations" sym_preserves_crash_violations;
+          case "bitstate-underreports" bitstate_underreports_never_fabricates;
         ] );
     ]

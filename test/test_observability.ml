@@ -323,6 +323,150 @@ let validator_accepts_and_rejects () =
             kvs))
   | _ -> assert false)
 
+(* --- model-check outcome validator (rme-mc-outcome/1) --- *)
+
+let minimal_outcome_obj ?(extra = []) () =
+  Json.Obj
+    ([
+       ("runs", Json.Int 3);
+       ("steps", Json.Int 40);
+       ("step_cap_hits", Json.Int 0);
+       ("deadlocks", Json.Int 0);
+       ("distinct_states", Json.Int 12);
+       ("pruned_runs", Json.Int 1);
+       ("pruned_branches", Json.Int 2);
+       ("truncated", Json.Bool false);
+       ("violations", Json.List []);
+     ]
+    @ extra)
+
+let minimal_mc_outcome ?extra ?(top = []) () =
+  Json.Obj
+    ([
+       ("schema", Json.Str Report.mc_outcome_schema);
+       ("config", Json.Obj [ ("scenario", Json.Str "rme") ]);
+       ("outcome", minimal_outcome_obj ?extra ());
+       ("minimized_schedule", Json.Null);
+     ]
+    @ top)
+
+let mc_outcome_validator_accepts_and_rejects () =
+  let accepts what doc =
+    match Report.validate_mc_outcome doc with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "rejected %s: %s" what e
+  in
+  let rejects what doc =
+    match Report.validate_mc_outcome doc with
+    | Ok () -> Alcotest.failf "accepted %s" what
+    | Error _ -> ()
+  in
+  (* Pre-§5.19 documents (no sleep/bitstate/swarm members) stay valid. *)
+  accepts "minimal legacy outcome" (minimal_mc_outcome ());
+  (* ... and so do the new optional members, as ints or finite floats. *)
+  accepts "sleep+bitstate members"
+    (minimal_mc_outcome
+       ~extra:
+         [
+           ("sleep_pruned", Json.Int 4);
+           ("bitstate_occupancy", Json.Float 0.0312);
+           ("collision_bound", Json.Float 0.00097);
+         ]
+       ());
+  accepts "bitstate members as Null"
+    (minimal_mc_outcome
+       ~extra:
+         [
+           ("bitstate_occupancy", Json.Null); ("collision_bound", Json.Null);
+         ]
+       ());
+  accepts "integral occupancy normalizes to Int"
+    (minimal_mc_outcome ~extra:[ ("bitstate_occupancy", Json.Int 1) ] ());
+  accepts "swarm member array"
+    (minimal_mc_outcome
+       ~top:
+         [
+           ( "swarm",
+             Json.List
+               [
+                 Json.Obj
+                   [
+                     ("member", Json.Int 0);
+                     ("divergence_bound", Json.Int 2);
+                     ("crash_bound", Json.Int 0);
+                     ("crash_one_bound", Json.Int 0);
+                     ("salt", Json.Int 1);
+                     ("outcome", minimal_outcome_obj ());
+                   ];
+               ] );
+         ]
+       ());
+  (* Non-finite floats are exactly the sentinel leak the schema bans. *)
+  rejects "NaN occupancy"
+    (minimal_mc_outcome ~extra:[ ("bitstate_occupancy", Json.Float Float.nan) ] ());
+  rejects "infinite collision bound"
+    (minimal_mc_outcome
+       ~extra:[ ("collision_bound", Json.Float Float.infinity) ] ());
+  rejects "string occupancy"
+    (minimal_mc_outcome ~extra:[ ("bitstate_occupancy", Json.Str "0.5") ] ());
+  rejects "non-integer sleep_pruned"
+    (minimal_mc_outcome ~extra:[ ("sleep_pruned", Json.Float 1.5) ] ());
+  rejects "swarm not an array"
+    (minimal_mc_outcome ~top:[ ("swarm", Json.Obj []) ] ());
+  rejects "swarm member missing salt"
+    (minimal_mc_outcome
+       ~top:
+         [
+           ( "swarm",
+             Json.List
+               [
+                 Json.Obj
+                   [
+                     ("member", Json.Int 0);
+                     ("divergence_bound", Json.Int 2);
+                     ("crash_bound", Json.Int 0);
+                     ("crash_one_bound", Json.Int 0);
+                     ("outcome", minimal_outcome_obj ());
+                   ];
+               ] );
+         ]
+       ());
+  rejects "swarm member outcome missing counters"
+    (minimal_mc_outcome
+       ~top:
+         [
+           ( "swarm",
+             Json.List
+               [
+                 Json.Obj
+                   [
+                     ("member", Json.Int 0);
+                     ("divergence_bound", Json.Int 2);
+                     ("crash_bound", Json.Int 0);
+                     ("crash_one_bound", Json.Int 0);
+                     ("salt", Json.Int 1);
+                     ("outcome", Json.Obj [ ("runs", Json.Int 1) ]);
+                   ];
+               ] );
+         ]
+       ());
+  (* The legacy shape rules still bite. *)
+  rejects "missing minimized_schedule"
+    (Json.Obj
+       [
+         ("schema", Json.Str Report.mc_outcome_schema);
+         ("config", Json.Obj []);
+         ("outcome", minimal_outcome_obj ());
+       ]);
+  rejects "wrong schema"
+    (Json.Obj
+       [
+         ("schema", Json.Str "rme-mc-outcome/0");
+         ("config", Json.Obj []);
+         ("outcome", minimal_outcome_obj ());
+         ("minimized_schedule", Json.Null);
+       ])
+
 (* --- Stats merge edge cases (PR 3's sentinel fix must survive merge) --- *)
 
 let float_eq what a b =
@@ -446,6 +590,7 @@ let () =
       ( "validator",
         [
           case "accepts-and-rejects" validator_accepts_and_rejects;
+          case "mc-outcome" mc_outcome_validator_accepts_and_rejects;
           case "zero-baseline-tolerance" tolerance_zero_baseline;
         ] );
     ]

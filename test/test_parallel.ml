@@ -132,6 +132,110 @@ let vset_concurrent_first_visit_unique () =
   Alcotest.(check int) "each key won exactly once" keys total;
   Alcotest.(check int) "cardinal" keys (Vset.cardinal vs)
 
+(* --- bitstate adversarial tests (DESIGN.md §5.19) ---
+
+   The supertrace contract: a bitstate set may report a never-inserted
+   key as covered (a probe-bit collision — the under-report direction:
+   exploration is pruned as if the state were known), but it must never
+   "lose" an inserted key, never count a collision as an insert, and
+   never report covered a key whose probe bits are not both set. *)
+
+let bitstate_mode_flags () =
+  Alcotest.(check bool) "exact" false (Vset.is_bitstate (Vset.create ()));
+  Alcotest.(check bool)
+    "bitstate" true
+    (Vset.is_bitstate (Vset.create_bitstate ~bits:10 ()));
+  Alcotest.(check_raises) "bits too small"
+    (Invalid_argument "Vset.create_bitstate: bits must be in 10..36")
+    (fun () -> ignore (Vset.create_bitstate ~bits:9 ()));
+  Alcotest.(check_raises) "bits too large"
+    (Invalid_argument "Vset.create_bitstate: bits must be in 10..36")
+    (fun () -> ignore (Vset.create_bitstate ~bits:37 ()))
+
+(* Force a collision: fill a deliberately tiny (2^10-bit) array to ~18%
+   occupancy, then search for a never-inserted key whose two probe bits
+   happen to both be set already ([mem] is read-only, so probing does
+   not pollute the array). That key must be reported covered — and must
+   NOT be counted: the cardinal under-reports, never inflates. *)
+let bitstate_forced_collision_underreports () =
+  let vs = Vset.create_bitstate ~bits:10 () in
+  let inserted = 100 in
+  for k = 1 to inserted do
+    Alcotest.(check bool)
+      (Printf.sprintf "fresh %d" k)
+      false
+      (Vset.covers_or_add vs k ~bit:1 ~closure:1)
+  done;
+  let j = ref 0 in
+  let k = ref (inserted + 1) in
+  while !j = 0 && !k < 1_000_000 do
+    if Vset.mem vs !k then j := !k;
+    incr k
+  done;
+  Alcotest.(check bool) "collision key found" true (!j > 0);
+  Alcotest.(check bool)
+    "collision reported covered (prunes, never fabricates)" true
+    (Vset.covers_or_add vs !j ~bit:1 ~closure:1);
+  Alcotest.(check int)
+    "collision not counted as an insert" inserted (Vset.cardinal vs);
+  (* Salting remaps the probe bits: the same insertion set under some
+     other salt must not collide on the same key (all ten salts
+     colliding would be a ~2^-200 accident — this is deterministic
+     given the fixed remix constants). *)
+  let salted_misses =
+    List.exists
+      (fun salt ->
+        let vs' = Vset.create_bitstate ~bits:10 ~salt () in
+        for k = 1 to inserted do
+          ignore (Vset.covers_or_add vs' k ~bit:1 ~closure:1)
+        done;
+        not (Vset.mem vs' !j))
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  Alcotest.(check bool) "some salt dodges the collision" true salted_misses
+
+(* Bits, once set, never clear: every inserted key stays covered forever,
+   whatever [~bit]/[~closure] later queries pass (both are ignored in
+   bitstate mode — there is no per-key mask). *)
+let bitstate_never_forgets () =
+  let vs = Vset.create_bitstate ~bits:14 ~shards:4 () in
+  for k = 1 to 2_000 do
+    ignore (Vset.covers_or_add vs k ~bit:1 ~closure:1)
+  done;
+  for k = 1 to 2_000 do
+    Alcotest.(check bool)
+      (Printf.sprintf "covered ever after %d" k)
+      true
+      (Vset.covers_or_add vs k ~bit:8 ~closure:64);
+    Alcotest.(check bool) (Printf.sprintf "mem %d" k) true (Vset.mem vs k)
+  done
+
+(* Saturate a tiny array far past capacity: memory never grows, the
+   cardinal stays a lower bound on the keys offered, and the reported
+   occupancy/collision bound converge toward 1 (full array) while
+   remaining finite and well-ordered. *)
+let bitstate_high_occupancy_stats () =
+  let vs = Vset.create_bitstate ~bits:10 () in
+  let offered = 5_000 in
+  for k = 1 to offered do
+    ignore (Vset.covers_or_add vs k ~bit:1 ~closure:1)
+  done;
+  Alcotest.(check bool)
+    "cardinal is a lower bound" true
+    (Vset.cardinal vs <= offered);
+  match Vset.stats vs with
+  | None -> Alcotest.fail "bitstate stats missing"
+  | Some (occ, bound) ->
+    Alcotest.(check bool)
+      "occupancy in (0.9, 1]" true
+      (Float.is_finite occ && occ > 0.9 && occ <= 1.0);
+    Alcotest.(check bool)
+      "collision bound = occupancy^2, finite" true
+      (Float.is_finite bound && Float.abs (bound -. (occ *. occ)) < 1e-12);
+    Alcotest.(check (option (pair (float 0.) (float 0.))))
+      "exact sets report no stats" None
+      (Vset.stats (Vset.create ()))
+
 (* --- explore determinism --- *)
 
 let rme ?(check_csr = true) stack n model =
@@ -332,6 +436,10 @@ let () =
           case "closure-dominance" vset_closure_covers_dominated_budgets;
           case "growth" vset_growth_keeps_all_keys;
           case "concurrent-unique-first" vset_concurrent_first_visit_unique;
+          case "bitstate-mode-flags" bitstate_mode_flags;
+          case "bitstate-forced-collision" bitstate_forced_collision_underreports;
+          case "bitstate-never-forgets" bitstate_never_forgets;
+          case "bitstate-high-occupancy" bitstate_high_occupancy_stats;
         ] );
       ("explore-determinism", List.map explore_case scenarios);
       ( "isolation",
